@@ -1,0 +1,242 @@
+package coserve_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	coserve "repro"
+	"repro/internal/coe"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchCtx memoizes boards, perf matrices, and the evaluation grid, so
+// every benchmark iteration after the first measures the (cached)
+// regeneration path rather than re-simulating the world.
+var benchCtx = coserve.NewExperimentContext()
+
+// benchExperiment is the shared driver: one benchmark per paper table
+// and figure, regenerating it through the public API.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var out string
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = coserve.RunExperiment(benchCtx, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("empty experiment output")
+	}
+}
+
+// One benchmark per evaluation artifact of the paper.
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "tab1") }
+func BenchmarkFigure1(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFigure16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFigure17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFigure18(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFigure19(b *testing.B) { benchExperiment(b, "fig19") }
+
+// Extension experiments (design-choice ablation and sensitivity sweeps).
+func BenchmarkExtEviction(b *testing.B)     { benchExperiment(b, "ext-evict") }
+func BenchmarkExtSSDSweep(b *testing.B)     { benchExperiment(b, "ext-ssd") }
+func BenchmarkExtArrivalSweep(b *testing.B) { benchExperiment(b, "ext-arrival") }
+
+// BenchmarkTaskA1 measures one full, uncached Task A1 simulation per
+// system variant on the NUMA device and reports the achieved virtual
+// throughput — the end-to-end cost of the headline experiment.
+func BenchmarkTaskA1(b *testing.B) {
+	dev := hw.NUMADevice()
+	board, err := workload.BoardA().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []core.Variant{core.Samba, core.CoServe} {
+		variant := variant
+		b.Run(variant.String(), func(b *testing.B) {
+			var tp float64
+			for i := 0; i < b.N; i++ {
+				g, c := core.DefaultExecutors(dev)
+				cfg := core.Config{Device: dev, Variant: variant, GPUExecutors: g, CPUExecutors: c, Perf: perf}
+				if variant == core.Samba {
+					cfg.Alloc = core.SambaAllocation(dev, perf)
+				} else {
+					cfg.Alloc = core.CasualAllocation(dev, perf, g, c)
+				}
+				sys, err := core.NewSystem(cfg, board.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := sys.RunTask(workload.TaskA1(board))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tp = rep.Throughput
+			}
+			b.ReportMetric(tp, "img/s(virtual)")
+		})
+	}
+}
+
+// BenchmarkSimKernel measures raw event throughput of the discrete-event
+// kernel: pairs of processes ping-ponging through sleeps.
+func BenchmarkSimKernel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		for p := 0; p < 4; p++ {
+			env.Go("p", func(pr *sim.Proc) {
+				for t := 0; t < 250; t++ {
+					pr.Sleep(time.Millisecond)
+				}
+			})
+		}
+		env.Run()
+	}
+}
+
+// BenchmarkMinMaxAssign measures one dependency-aware assignment
+// decision across 7 queues with realistic backlogs — the per-request
+// scheduling cost of Figure 19.
+func BenchmarkMinMaxAssign(b *testing.B) {
+	env := sim.NewEnv()
+	costs := sched.Costs{
+		K:           func(*coe.Expert) time.Duration { return 2 * time.Millisecond },
+		B:           func(*coe.Expert) time.Duration { return 5 * time.Millisecond },
+		PredictLoad: func(*coe.Expert) time.Duration { return time.Second },
+		IsLoaded:    func(coe.ExpertID) bool { return false },
+	}
+	qs := make([]*sched.Queue, 7)
+	for i := range qs {
+		qs[i] = sched.NewQueue(env, fmt.Sprintf("q%d", i), sched.ModeGrouped, costs)
+		for j := 0; j < 40; j++ {
+			e := &coe.Expert{ID: coe.ExpertID(i*100 + j%11), Arch: model.ResNet101}
+			qs[i].Enqueue(e, coe.NewRequest(int64(j), 0, []coe.ExpertID{e.ID}))
+		}
+	}
+	assigner := sched.MinMax{}
+	e := &coe.Expert{ID: 999, Arch: model.ResNet101}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assigner.Pick(0, qs, e)
+	}
+}
+
+// BenchmarkDepAwareEviction measures a two-stage victim selection over a
+// pool holding ~60 experts.
+func BenchmarkDepAwareEviction(b *testing.B) {
+	env := sim.NewEnv()
+	store := pool.NewStore(env, hw.NUMADevice(), 0)
+	mb := coe.NewBuilder("bench")
+	var ids []coe.ExpertID
+	for i := 0; i < 60; i++ {
+		role := coe.Preliminary
+		if i%5 == 4 {
+			role = coe.Subsequent
+		}
+		id := mb.AddExpert("e", model.ResNet101, role)
+		ids = append(ids, id)
+		if role == coe.Preliminary {
+			mb.AddRule(i, coe.Rule{Classifier: id})
+		}
+	}
+	m, err := mb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, e := range m.Experts() {
+		e.UsageProb = float64(i%17) / 17
+	}
+	p := pool.New("bench", 61*model.ResNet101.WeightBytes(), store, 0, pool.DepAware{}, env.Now)
+	for _, id := range ids {
+		p.Preload(m.Expert(id))
+	}
+	policy := pool.DepAware{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victims := policy.Victims(p, model.ResNet101.WeightBytes())
+		if len(victims) == 0 {
+			b.Fatal("no victims")
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures deterministic request-stream
+// generation for Task A2 (3,500 requests).
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	board, err := workload.BoardA().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs, err := workload.TaskA2(board).Generate()
+		if err != nil || len(reqs) != 3500 {
+			b.Fatalf("generation failed: %v (%d)", err, len(reqs))
+		}
+	}
+}
+
+// BenchmarkProfiledMatrix measures the whole offline microbenchmark
+// phase for one device.
+func BenchmarkProfiledMatrix(b *testing.B) {
+	dev := hw.UMADevice()
+	for i := 0; i < b.N; i++ {
+		if _, err := coserve.Profile(dev, coserve.EvalArchitectures()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBenchSanity keeps the bench harness honest under plain `go test`:
+// the headline figure regenerates and contains every expected system.
+func TestBenchSanity(t *testing.T) {
+	out, err := coserve.RunExperiment(benchCtx, "fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NUMA", "UMA", "A1", "B2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig13 output missing %q", want)
+		}
+	}
+	// The rendered ratios must parse as multi-x wins.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 2 && (fields[0] == "NUMA" || fields[0] == "UMA") {
+			r := strings.TrimSuffix(fields[len(fields)-3], "×")
+			ratio, err := strconv.ParseFloat(r, 64)
+			if err != nil {
+				t.Fatalf("unparseable ratio in %q", line)
+			}
+			if ratio < 2 {
+				t.Errorf("ratio %v too small in %q", ratio, line)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Command coserve runs the CoServe reproduction: single task runs,
+// offline profiling, and regeneration of every table and figure from the
+// paper's evaluation.
+//
+// Usage:
+//
+//	coserve list                         # what can be reproduced
+//	coserve experiment fig13             # regenerate one figure
+//	coserve experiment all               # regenerate everything
+//	coserve run -device numa -system coserve -task A1
+//	coserve profile -device uma          # print the performance matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	coserve "repro"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "experiment":
+		return cmdExperiment(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	case "profile":
+		return cmdProfile(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: coserve <command> [flags]
+
+commands:
+  list         list reproducible tables and figures
+  experiment   regenerate a figure/table by id, or "all"
+  run          run one task under one serving system
+  profile      run the offline profiler and print the performance matrix`)
+}
+
+func cmdList() error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "id\tpaper\tdescription")
+	for _, e := range coserve.Experiments() {
+		fmt.Fprintf(w, "%s\t%s\t%s\n", e.ID, e.Paper, e.Desc)
+	}
+	return w.Flush()
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("experiment needs one id (or \"all\"); see coserve list")
+	}
+	ctx := coserve.NewExperimentContext()
+	ids := []string{fs.Arg(0)}
+	if fs.Arg(0) == "all" {
+		ids = nil
+		for _, e := range coserve.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := coserve.RunExperiment(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// systemsByName maps CLI names to variants.
+func systemsByName() map[string]core.Variant {
+	m := make(map[string]core.Variant)
+	for _, v := range core.Variants() {
+		m[v.String()] = v
+	}
+	return m
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	devName := fs.String("device", "numa", "device profile: numa or uma")
+	sysName := fs.String("system", "coserve", "serving system variant")
+	taskName := fs.String("task", "A1", "task: A1, A2, B1, B2")
+	n := fs.Int("n", 0, "override request count (0 = task default)")
+	perfFile := fs.String("perf", "", "load a persisted performance matrix instead of profiling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dev, err := hw.ByName(*devName)
+	if err != nil {
+		return err
+	}
+	variant, ok := systemsByName()[*sysName]
+	if !ok {
+		names := make([]string, 0)
+		for name := range systemsByName() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("unknown system %q (known: %s)", *sysName, strings.Join(names, ", "))
+	}
+
+	spec := workload.BoardA()
+	if strings.HasPrefix(*taskName, "B") {
+		spec = workload.BoardB()
+	}
+	board, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	var task workload.Task
+	switch *taskName {
+	case "A1":
+		task = workload.TaskA1(board)
+	case "A2":
+		task = workload.TaskA2(board)
+	case "B1":
+		task = workload.TaskB1(board)
+	case "B2":
+		task = workload.TaskB2(board)
+	default:
+		return fmt.Errorf("unknown task %q", *taskName)
+	}
+	if *n > 0 {
+		task.N = *n
+	}
+
+	var perf coserve.PerfMatrix
+	if *perfFile != "" {
+		f, err := os.Open(*perfFile)
+		if err != nil {
+			return err
+		}
+		perf, err = model.ReadPerfMatrix(f, coserve.EvalArchitectures())
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded performance matrix from %s\n", *perfFile)
+	} else {
+		fmt.Printf("profiling %s (offline phase)...\n", dev.Name)
+		perf, err = coserve.Profile(dev, coserve.EvalArchitectures())
+		if err != nil {
+			return err
+		}
+	}
+	g, c := core.DefaultExecutors(dev)
+	cfg := core.Config{Device: dev, Variant: variant, GPUExecutors: g, CPUExecutors: c, Perf: perf}
+	if variant == core.Samba || variant == core.SambaFIFO {
+		cfg.Alloc = core.SambaAllocation(dev, perf)
+	} else {
+		cfg.Alloc = core.CasualAllocation(dev, perf, g, c)
+	}
+	sys, err := core.NewSystem(cfg, board.Model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running task %s (%d requests) on %s under %s...\n", task.Name, task.N, dev.Name, variant)
+	start := time.Now()
+	rep, err := sys.RunTask(task)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	fmt.Printf("(simulated in %v of wall time)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func printReport(r *core.Report) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "system\t%s\n", r.System)
+	fmt.Fprintf(w, "device\t%s\n", r.Device)
+	fmt.Fprintf(w, "task\t%s (%d requests)\n", r.Task, r.N)
+	fmt.Fprintf(w, "throughput\t%.2f img/s\n", r.Throughput)
+	fmt.Fprintf(w, "makespan\t%.1f s (virtual)\n", r.Makespan.Seconds())
+	fmt.Fprintf(w, "expert switches\t%d (%d from SSD, %d from host)\n", r.Switches, r.SSDLoads, r.HostHits)
+	fmt.Fprintf(w, "evictions\t%d\n", r.Evictions)
+	fmt.Fprintf(w, "latency p50/p95\t%.2fs / %.2fs\n", r.Latency.P50, r.Latency.P95)
+	fmt.Fprintf(w, "sched cost\t%v per decision (%d decisions)\n", r.SchedPerOp, r.SchedOps)
+	w.Flush()
+	fmt.Println("per executor:")
+	we := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(we, "  name\tprocessed\tbatches\tbusy")
+	for _, ex := range r.PerExecutor {
+		fmt.Fprintf(we, "  %s\t%d\t%d\t%.1fs\n", ex.Name, ex.Processed, ex.Batches, ex.Busy.Seconds())
+	}
+	we.Flush()
+	fmt.Println("per pool:")
+	wp := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(wp, "  name\tresident\tswitches\tssd\thost\tevictions\tload time")
+	for _, pl := range r.PerPool {
+		fmt.Fprintf(wp, "  %s\t%d\t%d\t%d\t%d\t%d\t%.1fs\n",
+			pl.Name, pl.Loaded, pl.Switches, pl.SSDLoads, pl.HostHits, pl.Evictions, pl.LoadTime.Seconds())
+	}
+	wp.Flush()
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	devName := fs.String("device", "numa", "device profile: numa or uma")
+	out := fs.String("o", "", "write the performance matrix as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dev, err := hw.ByName(*devName)
+	if err != nil {
+		return err
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := perf.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("performance matrix written to %s\n", *out)
+	}
+	fmt.Printf("performance matrix for %s (offline phase, §4.5):\n", dev.Name)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "architecture\tproc\tK\tB\tmax batch\tact/image\tload(ssd)\tload(host)")
+	for _, arch := range coserve.EvalArchitectures() {
+		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+			p, ok := perf.Lookup(arch.Name, kind)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t%v\t%v\t%d\t%d MB\t%v\t%v\n",
+				arch.Name, kind,
+				p.K.Round(10*time.Microsecond), p.B.Round(10*time.Microsecond),
+				p.MaxBatch, p.ActPerImage>>20,
+				p.LoadSSD.Round(time.Millisecond), p.LoadHost.Round(time.Millisecond))
+		}
+	}
+	return w.Flush()
+}

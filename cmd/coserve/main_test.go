@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// silence routes stdout to /dev/null for the duration of a test so CLI
+// output does not pollute the test log.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"experiment"},
+		{"experiment", "fig99"},
+		{"run", "-device", "quantum"},
+		{"run", "-system", "magic"},
+		{"run", "-task", "Z9"},
+		{"profile", "-device", "quantum"},
+	}
+	silence(t)
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestListAndHelp(t *testing.T) {
+	silence(t)
+	if err := run([]string{"list"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileSubcommand(t *testing.T) {
+	silence(t)
+	if err := run([]string{"profile", "-device", "uma"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunSubcommandSmall(t *testing.T) {
+	silence(t)
+	if err := run([]string{"run", "-device", "numa", "-system", "coserve", "-task", "B1", "-n", "120"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExperimentSubcommand(t *testing.T) {
+	silence(t)
+	if err := run([]string{"experiment", "tab1"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"experiment", "ext-arrival"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfilePersistAndReuse(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	perfPath := dir + "/numa.perf.json"
+	if err := run([]string{"profile", "-device", "numa", "-o", perfPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(perfPath); err != nil {
+		t.Fatalf("perf file not written: %v", err)
+	}
+	if err := run([]string{"run", "-device", "numa", "-task", "A1", "-n", "100", "-perf", perfPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-perf", dir + "/missing.json"}); err == nil {
+		t.Error("missing perf file accepted")
+	}
+}

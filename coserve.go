@@ -1,0 +1,219 @@
+// Package coserve is a reproduction of "CoServe: Efficient
+// Collaboration-of-Experts (CoE) Model Inference with Limited Memory"
+// (ASPLOS 2025): a serving system for CoE models on memory-constrained
+// heterogeneous CPU+GPU devices, evaluated on a simulated device with
+// cost models calibrated to the paper's measurements.
+//
+// The package is a facade over the internal implementation. A typical
+// session mirrors the paper's three phases:
+//
+//	dev := coserve.NUMADevice()                       // pick a platform
+//	board, _ := coserve.BoardA().Build()              // a CoE model + workload
+//	perf, _ := coserve.Profile(dev, coserve.EvalArchitectures()) // offline phase
+//	g, c := coserve.DefaultExecutors(dev)
+//	cfg := coserve.Config{
+//		Device: dev, Variant: coserve.CoServe,
+//		GPUExecutors: g, CPUExecutors: c,
+//		Alloc: coserve.CasualAllocation(dev, perf, g, c), Perf: perf,
+//	}
+//	srv, _ := coserve.NewServer(cfg, board.Model)     // system initialization
+//	report, _ := srv.RunTask(coserve.TaskA1(board))   // online phase
+//	fmt.Printf("%.1f img/s, %d expert switches\n", report.Throughput, report.Switches)
+//
+// Custom CoE models are assembled with NewModelBuilder; custom workloads
+// with the Task type. The experiments subcommand of cmd/coserve
+// regenerates every table and figure of the paper through the same API.
+package coserve
+
+import (
+	"repro/internal/coe"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+// Device is a hardware platform profile (the paper's Table 1 systems or
+// a custom one).
+type Device = hw.Device
+
+// NUMADevice returns the paper's NUMA platform (RTX 3080 Ti + Xeon).
+func NUMADevice() *Device { return hw.NUMADevice() }
+
+// UMADevice returns the paper's UMA platform (Apple M2).
+func UMADevice() *Device { return hw.UMADevice() }
+
+// DeviceByName resolves "numa", "uma", or a full profile name.
+func DeviceByName(name string) (*Device, error) { return hw.ByName(name) }
+
+// Architecture describes an expert model architecture.
+type Architecture = model.Architecture
+
+// Built-in expert architectures (§5.1).
+var (
+	ResNet101 = model.ResNet101
+	YOLOv5m   = model.YOLOv5m
+	YOLOv5l   = model.YOLOv5l
+)
+
+// EvalArchitectures returns the architectures of the paper's workload.
+func EvalArchitectures() []Architecture {
+	return []Architecture{model.ResNet101, model.YOLOv5m, model.YOLOv5l}
+}
+
+// Model is an immutable CoE model: experts, dependencies, and routing.
+type Model = coe.Model
+
+// ModelBuilder assembles a CoE model.
+type ModelBuilder = coe.Builder
+
+// NewModelBuilder returns an empty CoE model builder.
+func NewModelBuilder(name string) *ModelBuilder { return coe.NewBuilder(name) }
+
+// Expert roles for ModelBuilder.AddExpert.
+const (
+	Preliminary = coe.Preliminary
+	Subsequent  = coe.Subsequent
+)
+
+// Rule is a routing rule: classifier, optional detector, pass
+// probability.
+type Rule = coe.Rule
+
+// NoExpert marks the absence of a detection stage in a Rule.
+const NoExpert = coe.NoExpert
+
+// Request is one inference request traveling a CoE pipeline.
+type Request = coe.Request
+
+// ComputeUsage fills in expert usage probabilities from a class
+// distribution (§4.5); EstimateUsage does the same from sampled chains.
+func ComputeUsage(m *Model, classProbs map[int]float64) error {
+	return coe.ComputeUsage(m, classProbs)
+}
+
+// EstimateUsage estimates usage probabilities from sampled chains.
+func EstimateUsage(m *Model, chains [][]coe.ExpertID) { coe.EstimateUsage(m, chains) }
+
+// PerfMatrix is the offline profiler's performance matrix (§4.5).
+type PerfMatrix = model.PerfMatrix
+
+// Profile runs the offline microbenchmarks for the architectures on the
+// device (§4.4–4.5).
+func Profile(dev *Device, archs []Architecture) (PerfMatrix, error) {
+	return profiler.Matrix(dev, archs)
+}
+
+// Variant selects a serving system design.
+type Variant = core.Variant
+
+// System variants (§5.1 baselines and §5.3 ablations).
+const (
+	Samba         = core.Samba
+	SambaFIFO     = core.SambaFIFO
+	SambaParallel = core.SambaParallel
+	CoServeNone   = core.CoServeNone
+	CoServeEM     = core.CoServeEM
+	CoServeEMRA   = core.CoServeEMRA
+	CoServe       = core.CoServe
+)
+
+// Config describes a serving system instance; Allocation divides device
+// memory between experts, the host cache, and batch intermediates.
+type (
+	Config     = core.Config
+	Allocation = core.Allocation
+)
+
+// Report summarizes a task run (throughput, switches, latency,
+// scheduling overhead).
+type Report = core.Report
+
+// Server is an assembled serving system bound to a simulated device. A
+// server runs exactly one task.
+type Server = core.System
+
+// NewServer builds a serving system for the CoE model.
+func NewServer(cfg Config, m *Model) (*Server, error) { return core.NewSystem(cfg, m) }
+
+// CasualAllocation returns the paper's intuitive memory split (§5.2).
+func CasualAllocation(dev *Device, perf PerfMatrix, gpuExecutors, cpuExecutors int) Allocation {
+	return core.CasualAllocation(dev, perf, gpuExecutors, cpuExecutors)
+}
+
+// SambaAllocation returns the Samba-CoE baseline memory layout (§5.1).
+func SambaAllocation(dev *Device, perf PerfMatrix) Allocation {
+	return core.SambaAllocation(dev, perf)
+}
+
+// AllocationForExperts sizes GPU expert memory to n reference experts
+// (the §4.4 search's sweep variable).
+func AllocationForExperts(dev *Device, perf PerfMatrix, n, gpuExecutors, cpuExecutors int) Allocation {
+	return core.AllocationForExperts(dev, perf, n, gpuExecutors, cpuExecutors)
+}
+
+// DefaultExecutors returns the paper's casual executor topology for the
+// device.
+func DefaultExecutors(dev *Device) (gpus, cpus int) { return core.DefaultExecutors(dev) }
+
+// Workload types: boards generate the CoE model and request
+// distribution; tasks are fixed-length request streams.
+type (
+	BoardSpec = workload.BoardSpec
+	Board     = workload.Board
+	Task      = workload.Task
+)
+
+// NewBoard wraps a custom CoE model and class distribution as a Board
+// for custom workloads.
+func NewBoard(m *Model, typeProbs []float64) (*Board, error) {
+	return workload.NewBoard(m, typeProbs)
+}
+
+// BoardA and BoardB are the paper's circuit boards (§5.1).
+func BoardA() BoardSpec { return workload.BoardA() }
+func BoardB() BoardSpec { return workload.BoardB() }
+
+// TaskA1, TaskA2, TaskB1 and TaskB2 are the paper's evaluation tasks.
+func TaskA1(b *Board) Task { return workload.TaskA1(b) }
+func TaskA2(b *Board) Task { return workload.TaskA2(b) }
+func TaskB1(b *Board) Task { return workload.TaskB1(b) }
+func TaskB2(b *Board) Task { return workload.TaskB2(b) }
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = experiments.Experiment
+
+// ExperimentTable is a rendered experiment result.
+type ExperimentTable = experiments.Table
+
+// Experiments lists all reproduction targets in paper order, followed
+// by the extension experiments (design-choice ablations, sensitivity
+// sweeps).
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment regenerates one figure/table by ID ("fig13", "tab1", ...)
+// and returns its rendered text. The ctx caches shared state across
+// calls; pass nil for a fresh one.
+func RunExperiment(ctx *ExperimentContext, id string) (string, error) {
+	if ctx == nil {
+		ctx = experiments.NewContext()
+	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	tb, err := e.Run(ctx)
+	if err != nil {
+		return "", err
+	}
+	return tb.Render(), nil
+}
+
+// ExperimentContext caches boards, performance matrices, and task runs
+// across experiments.
+type ExperimentContext = experiments.Context
+
+// NewExperimentContext returns an empty experiment cache.
+func NewExperimentContext() *ExperimentContext { return experiments.NewContext() }

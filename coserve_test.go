@@ -1,0 +1,89 @@
+package coserve_test
+
+import (
+	"strings"
+	"testing"
+
+	coserve "repro"
+)
+
+// TestQuickstartFlow exercises the documented public-API session end to
+// end: profile, configure, serve, report.
+func TestQuickstartFlow(t *testing.T) {
+	dev := coserve.NUMADevice()
+	board, err := coserve.BoardA().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, c := coserve.DefaultExecutors(dev)
+	cfg := coserve.Config{
+		Device: dev, Variant: coserve.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: coserve.CasualAllocation(dev, perf, g, c), Perf: perf,
+	}
+	srv, err := coserve.NewServer(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := coserve.Task{Name: "quick", Board: board, N: 300, ArrivalPeriod: 4e6, Seed: 5}
+	rep, err := srv.RunTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions != 300 {
+		t.Errorf("completions = %d, want 300", rep.Completions)
+	}
+	if rep.Throughput <= 0 || rep.Switches < 0 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+}
+
+// TestCustomModelViaBuilder drives the model-builder path of the facade.
+func TestCustomModelViaBuilder(t *testing.T) {
+	b := coserve.NewModelBuilder("custom")
+	cls := b.AddExpert("classifier", coserve.ResNet101, coserve.Preliminary)
+	det := b.AddExpert("detector", coserve.YOLOv5m, coserve.Subsequent)
+	b.Link(cls, det)
+	b.AddRule(0, coserve.Rule{Classifier: cls, Detector: det, PassProb: 0.9})
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coserve.ComputeUsage(m, map[int]float64{0: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumExperts() != 2 {
+		t.Errorf("experts = %d, want 2", m.NumExperts())
+	}
+}
+
+func TestDeviceByName(t *testing.T) {
+	for _, name := range []string{"numa", "uma"} {
+		if _, err := coserve.DeviceByName(name); err != nil {
+			t.Errorf("DeviceByName(%q): %v", name, err)
+		}
+	}
+	if _, err := coserve.DeviceByName("quantum"); err == nil {
+		t.Error("unknown device resolved")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	out, err := coserve.RunExperiment(nil, "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RTX3080Ti") {
+		t.Error("tab1 output missing hardware")
+	}
+	if _, err := coserve.RunExperiment(nil, "fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if got := len(coserve.Experiments()); got != 16 {
+		t.Errorf("experiments = %d, want 16 (13 paper artifacts + 3 extensions)", got)
+	}
+}

@@ -1,0 +1,110 @@
+// Profiler: a walkthrough of CoServe's offline phase (§4.4–§4.5).
+//
+// It profiles both devices (performance matrix: K, B, max batch,
+// footprints, load latencies), then runs the decay-window memory-
+// allocation search and the executor-count sweep for Circuit Board A on
+// the NUMA device, printing each probe the way Figures 17 and 18 do.
+//
+// Run with: go run ./examples/profiler
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	coserve "repro"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. Performance matrix for each device (microbenchmarks, §4.5).
+	for _, dev := range []*coserve.Device{coserve.NUMADevice(), coserve.UMADevice()} {
+		perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s performance matrix ==\n", dev.Name)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "architecture\tproc\tK\tB\tmax batch\tload(ssd)")
+		for _, arch := range coserve.EvalArchitectures() {
+			for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+				p, _ := perf.Lookup(arch.Name, kind)
+				fmt.Fprintf(w, "%s\t%v\t%v\t%v\t%d\t%v\n", arch.Name, kind,
+					p.K.Round(10*time.Microsecond), p.B.Round(time.Millisecond),
+					p.MaxBatch, p.LoadSSD.Round(time.Millisecond))
+			}
+		}
+		w.Flush()
+		fmt.Println()
+	}
+
+	// 2. Offline configuration search on the NUMA device for Board A.
+	dev := coserve.NUMADevice()
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	board, err := coserve.BoardA().Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := coserve.Task{
+		Name: "sample", Board: board, N: 600,
+		ArrivalPeriod: workload.DefaultArrivalPeriod, Seed: 777,
+	}
+	runWith := func(g, c int, alloc coserve.Allocation) (float64, error) {
+		cfg := coserve.Config{
+			Device: dev, Variant: coserve.CoServe,
+			GPUExecutors: g, CPUExecutors: c, Alloc: alloc, Perf: perf,
+		}
+		srv, err := coserve.NewServer(cfg, board.Model)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := srv.RunTask(sample)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Throughput, nil
+	}
+
+	fmt.Println("== executor-count sweep (Figure 17) ==")
+	configs := [][2]int{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}}
+	points, best, err := profiler.TopologySweep(configs, func(g, c int) (float64, error) {
+		return runWith(g, c, coserve.CasualAllocation(dev, perf, g, c))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		marker := ""
+		if p == points[best] {
+			marker = "  <- best"
+		}
+		fmt.Printf("  %dG+%dC: %.1f img/s%s\n", p.GPUs, p.CPUs, p.Throughput, marker)
+	}
+	g, c := points[best].GPUs, points[best].CPUs
+
+	fmt.Println("\n== decay-window memory search (§4.4, Figure 18) ==")
+	maxExperts := core.MaxGPUExperts(dev, perf, g, c, coserve.EvalArchitectures())
+	res, err := profiler.DecayWindow(profiler.DefaultSearchParams(maxExperts), func(n int) (float64, error) {
+		if n < 3*g {
+			n = 3 * g
+		}
+		return runWith(g, c, coserve.AllocationForExperts(dev, perf, n, g, c))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range res.Points {
+		fmt.Printf("  load %3d experts -> %.1f img/s\n", p.Experts, p.Throughput)
+	}
+	fmt.Printf("selected window [%d,%d], loading %d experts (deviation %.1f%%)\n",
+		res.WindowLo, res.WindowHi, res.Selected, res.Deviation*100)
+}

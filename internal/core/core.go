@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/executor"
+	"repro/internal/hw"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// System is one assembled serving system: executors, pools, queues, and
+// the inference controller, bound to a fresh simulation environment. A
+// System runs exactly one task; build a new one per run.
+type System struct {
+	cfg      Config
+	m        *coe.Model
+	env      *sim.Env
+	store    *pool.Store
+	recorder *metrics.Recorder
+
+	queues    []*sched.Queue
+	executors []*executor.Executor
+	pools     []*pool.Pool
+	assigner  sched.Assigner
+
+	gpuActs, cpuActs *memory.Arena
+
+	done      bool
+	remaining int
+	picks     []int
+	measure   bool
+	ran       bool
+}
+
+// NewSystem builds a system for the CoE model under the configuration.
+func NewSystem(cfg Config, m *coe.Model) (*System, error) {
+	cfg = cfg.normalized()
+
+	var largestWeight, largestGPUAct, largestCPUAct int64
+	archSet := map[string]model.Architecture{}
+	for _, e := range m.Experts() {
+		archSet[e.Arch.Name] = e.Arch
+	}
+	var archs []model.Architecture
+	for _, a := range archSet {
+		archs = append(archs, a)
+	}
+	if cfg.Perf != nil {
+		if err := cfg.Perf.Covers(archs); err != nil {
+			return nil, err
+		}
+		for _, a := range archs {
+			if w := a.WeightBytes(); w > largestWeight {
+				largestWeight = w
+			}
+			if act := cfg.Perf.MustLookup(a.Name, hw.GPU).ActPerImage; act > largestGPUAct {
+				largestGPUAct = act
+			}
+			if act := cfg.Perf.MustLookup(a.Name, hw.CPU).ActPerImage; act > largestCPUAct {
+				largestCPUAct = act
+			}
+		}
+	}
+	if err := cfg.validate(largestWeight, largestGPUAct, largestCPUAct); err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		cfg:      cfg,
+		m:        m,
+		env:      sim.NewEnv(),
+		recorder: metrics.NewRecorder(),
+		measure:  cfg.PreschedPicks == nil,
+	}
+	s.store = pool.NewStore(s.env, cfg.Device, cfg.Alloc.HostCacheBytes)
+	if cfg.PreschedPicks != nil {
+		s.assigner = sched.NewReplay(cfg.PreschedPicks)
+	} else {
+		s.assigner = cfg.Variant.assigner()
+	}
+
+	s.gpuActs = memory.NewArena("gpu/acts", cfg.Alloc.GPUActBytes)
+	s.cpuActs = memory.NewArena("cpu/acts", cfg.Alloc.CPUActBytes)
+	gpuCompute := sim.NewResource(s.env, "gpu/compute", 1)
+	cpuCompute := sim.NewResource(s.env, "cpu/compute", 1)
+
+	// Shared-pool variants use one pool per processor; otherwise each
+	// executor owns a pool.
+	var sharedGPU, sharedCPU *pool.Pool
+	if cfg.Variant.sharedPools() {
+		sharedGPU = pool.New("gpu-shared", cfg.Alloc.GPUExpertBytes, s.store, memory.TierGPU, cfg.evictPolicy(), s.env.Now)
+		s.pools = append(s.pools, sharedGPU)
+		if cfg.CPUExecutors > 0 {
+			sharedCPU = pool.New("cpu-shared", cfg.Alloc.CPUExpertBytes, s.store, memory.TierCPU, cfg.evictPolicy(), s.env.Now)
+			s.pools = append(s.pools, sharedCPU)
+		}
+	}
+
+	build := func(i int, kind hw.ProcKind) {
+		var (
+			name    string
+			tier    memory.Tier
+			poolCap int64
+			acts    *memory.Arena
+			compute *sim.Resource
+			pl      *pool.Pool
+		)
+		proc := cfg.Device.Proc(kind)
+		if kind == hw.GPU {
+			name = fmt.Sprintf("gpu%d", i)
+			tier = memory.TierGPU
+			poolCap = cfg.Alloc.GPUExpertBytes / int64(cfg.GPUExecutors)
+			acts = s.gpuActs
+			compute = gpuCompute
+			pl = sharedGPU
+		} else {
+			name = fmt.Sprintf("cpu%d", i)
+			tier = memory.TierCPU
+			poolCap = cfg.Alloc.CPUExpertBytes / int64(cfg.CPUExecutors)
+			acts = s.cpuActs
+			compute = cpuCompute
+			pl = sharedCPU
+		}
+		if pl == nil {
+			pl = pool.New(name, poolCap, s.store, tier, cfg.evictPolicy(), s.env.Now)
+			s.pools = append(s.pools, pl)
+		}
+		perfFor := func(e *coe.Expert) model.Perf {
+			return cfg.Perf.MustLookup(e.Arch.Name, kind)
+		}
+		q := sched.NewQueue(s.env, name, cfg.Variant.queueMode(), sched.Costs{
+			K:           func(e *coe.Expert) time.Duration { return perfFor(e).K },
+			B:           func(e *coe.Expert) time.Duration { return perfFor(e).B },
+			PredictLoad: func(e *coe.Expert) time.Duration { return s.store.PredictLoad(e, tier) },
+			IsLoaded:    pl.IsLoaded,
+		})
+		ex := &executor.Executor{
+			Name: name,
+			Proc: executor.ProcProfile{
+				Exec:        func(a model.Architecture, n int) time.Duration { return model.ExecLatency(a, proc, n) },
+				ActPerImage: func(a model.Architecture) int64 { return model.ActBytesPerImage(a, proc) },
+			},
+			Queue:   q,
+			Pool:    pl,
+			Compute: compute,
+			Acts:    acts,
+			Perf:    perfFor,
+			Done:    func() bool { return s.done },
+			OnBatch: s.onBatch,
+		}
+		s.queues = append(s.queues, q)
+		s.executors = append(s.executors, ex)
+	}
+	for i := 0; i < cfg.GPUExecutors; i++ {
+		build(i, hw.GPU)
+	}
+	for i := 0; i < cfg.CPUExecutors; i++ {
+		build(i, hw.CPU)
+	}
+	if cfg.Trace != nil {
+		for _, pl := range s.pools {
+			pl := pl
+			pl.Observer = func(e *coe.Expert, source string, elapsed time.Duration) {
+				cfg.Trace.Add(trace.Event{
+					At: s.env.Now().Duration(), Kind: trace.KindSwitch,
+					Actor: pl.Name(), Expert: int32(e.ID), Dur: elapsed, Detail: source,
+				})
+			}
+		}
+		for _, ex := range s.executors {
+			ex := ex
+			ex.Observer = func(e *coe.Expert, n int, lat time.Duration) {
+				cfg.Trace.Add(trace.Event{
+					At: s.env.Now().Duration(), Kind: trace.KindBatch,
+					Actor: ex.Name, Expert: int32(e.ID), N: n, Dur: lat,
+				})
+			}
+		}
+	}
+
+	s.initializeExperts()
+	return s, nil
+}
+
+// initializeExperts preloads experts into pools round-robin in
+// descending usage-probability order until every pool is full (§4.1,
+// "Experts are distributed into each executor in a round-robin manner,
+// prioritized by descending usage probabilities").
+func (s *System) initializeExperts() {
+	if s.cfg.Variant.coldStart() {
+		return
+	}
+	full := make([]bool, len(s.pools))
+	next := 0
+	for _, e := range s.m.ExpertsByUsage() {
+		placed := false
+		for try := 0; try < len(s.pools); try++ {
+			i := (next + try) % len(s.pools)
+			if full[i] {
+				continue
+			}
+			if s.pools[i].Preload(e) {
+				next = (i + 1) % len(s.pools)
+				placed = true
+				break
+			}
+			full[i] = true
+		}
+		if !placed {
+			allFull := true
+			for _, f := range full {
+				if !f {
+					allFull = false
+					break
+				}
+			}
+			if allFull {
+				break
+			}
+		}
+	}
+	for _, pl := range s.pools {
+		pl.ResetStats()
+	}
+}
+
+// Queues exposes the executor queues (read-only use).
+func (s *System) Queues() []*sched.Queue { return s.queues }
+
+// Pools exposes the executor pools (read-only use).
+func (s *System) Pools() []*pool.Pool { return s.pools }
+
+// LoadedExperts reports the number of preloaded experts across pools.
+func (s *System) LoadedExperts() int {
+	n := 0
+	for _, pl := range s.pools {
+		n += pl.Loaded()
+	}
+	return n
+}
+
+// dispatch assigns a request's current stage to a queue (§4.2). The
+// wall-clock cost of the decision is the Figure 19 scheduling overhead.
+func (s *System) dispatch(r *coe.Request) {
+	e := s.m.Expert(r.Expert())
+	var start time.Time
+	if s.measure {
+		start = time.Now()
+	}
+	idx := s.assigner.Pick(s.env.Now(), s.queues, e)
+	s.queues[idx].Enqueue(e, r)
+	if s.measure {
+		s.recorder.SchedOp(time.Since(start))
+	}
+	s.picks = append(s.picks, idx)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Add(trace.Event{
+			At: s.env.Now().Duration(), Kind: trace.KindAssign,
+			Actor: s.queues[idx].Name(), Request: r.ID, Expert: int32(e.ID),
+		})
+	}
+}
+
+// onBatch advances a completed stage: multi-stage requests are
+// re-dispatched for their subsequent expert; finished requests are
+// recorded, and the last completion shuts the system down.
+func (s *System) onBatch(p *sim.Proc, r *coe.Request) {
+	s.recorder.StageDone()
+	if r.Advance() {
+		s.dispatch(r)
+		return
+	}
+	now := p.Now()
+	r.Done = now
+	s.recorder.Completion(r.Arrival, now)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Add(trace.Event{
+			At: now.Duration(), Kind: trace.KindComplete,
+			Request: r.ID, Dur: now.Sub(r.Arrival),
+		})
+	}
+	s.remaining--
+	if s.remaining == 0 {
+		s.done = true
+		for _, q := range s.queues {
+			q.Gate().Notify()
+		}
+	}
+}
+
+// RunTask generates the task's request stream, feeds it at the task's
+// arrival period, runs the simulation to completion, and returns the
+// report. A System can run only once.
+func (s *System) RunTask(task workload.Task) (*Report, error) {
+	if s.ran {
+		return nil, fmt.Errorf("core: system already ran a task")
+	}
+	s.ran = true
+	reqs, err := task.Generate()
+	if err != nil {
+		return nil, err
+	}
+	s.remaining = len(reqs)
+
+	for _, ex := range s.executors {
+		ex := ex
+		s.env.Go(ex.Name, ex.Run)
+	}
+	s.env.Go("arrivals", func(p *sim.Proc) {
+		for i, r := range reqs {
+			if i > 0 {
+				p.Sleep(task.ArrivalPeriod)
+			}
+			r.Arrival = p.Now()
+			s.recorder.Arrival(r.Arrival)
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Add(trace.Event{
+					At: r.Arrival.Duration(), Kind: trace.KindArrival, Request: r.ID,
+				})
+			}
+			s.dispatch(r)
+		}
+	})
+	s.env.Run()
+
+	if s.remaining != 0 {
+		return nil, fmt.Errorf("core: run ended with %d requests incomplete", s.remaining)
+	}
+	return s.report(task), nil
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+var testArchs = []model.Architecture{model.ResNet101, model.YOLOv5m, model.YOLOv5l}
+
+// perfCache memoizes the profiled matrices per device.
+var perfCache = map[string]model.PerfMatrix{}
+
+func perfFor(t testing.TB, dev *hw.Device) model.PerfMatrix {
+	t.Helper()
+	if pm, ok := perfCache[dev.Name]; ok {
+		return pm
+	}
+	pm, err := profiler.Matrix(dev, testArchs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfCache[dev.Name] = pm
+	return pm
+}
+
+var boardCache = map[string]*workload.Board{}
+
+func boardFor(t testing.TB, spec workload.BoardSpec) *workload.Board {
+	t.Helper()
+	if b, ok := boardCache[spec.Name]; ok {
+		return b
+	}
+	b, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boardCache[spec.Name] = b
+	return b
+}
+
+// buildSystem assembles a variant with casual allocation on the device.
+func buildSystem(t testing.TB, dev *hw.Device, v Variant, board *workload.Board) *System {
+	t.Helper()
+	pm := perfFor(t, dev)
+	g, c := DefaultExecutors(dev)
+	cfg := Config{Device: dev, Variant: v, GPUExecutors: g, CPUExecutors: c, Perf: pm}
+	if v.singleExecutor() {
+		cfg.Alloc = SambaAllocation(dev, pm)
+	} else {
+		cfg.Alloc = CasualAllocation(dev, pm, g, c)
+	}
+	s, err := NewSystem(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallTask(board *workload.Board, n int) workload.Task {
+	return workload.Task{Name: "small", Board: board, N: n, ArrivalPeriod: workload.DefaultArrivalPeriod, Seed: 99}
+}
+
+func TestSystemCompletesSmallTask(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			s := buildSystem(t, hw.NUMADevice(), v, board)
+			rep, err := s.RunTask(smallTask(board, 200))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completions != 200 {
+				t.Errorf("completions = %d, want 200", rep.Completions)
+			}
+			if rep.Throughput <= 0 {
+				t.Error("throughput not positive")
+			}
+			// Conservation: per-executor processed stages must cover all
+			// requests (first stages) plus second stages.
+			var processed int64
+			for _, ex := range rep.PerExecutor {
+				processed += ex.Processed
+			}
+			if processed < rep.Completions {
+				t.Errorf("stages processed %d < completions %d", processed, rep.Completions)
+			}
+		})
+	}
+}
+
+func TestSystemRunsOnBothDevices(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	for _, dev := range []*hw.Device{hw.NUMADevice(), hw.UMADevice()} {
+		s := buildSystem(t, dev, CoServe, board)
+		rep, err := s.RunTask(smallTask(board, 150))
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		if rep.Completions != 150 {
+			t.Errorf("%s: completions = %d", dev.Name, rep.Completions)
+		}
+	}
+}
+
+func TestSystemDeterministic(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	run := func() *Report {
+		s := buildSystem(t, hw.NUMADevice(), CoServe, board)
+		rep, err := s.RunTask(smallTask(board, 200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Throughput != b.Throughput || a.Switches != b.Switches || a.Makespan != b.Makespan {
+		t.Errorf("nondeterministic: %v/%v vs %v/%v", a.Throughput, a.Switches, b.Throughput, b.Switches)
+	}
+	for i := range a.Picks {
+		if a.Picks[i] != b.Picks[i] {
+			t.Fatalf("pick %d differs", i)
+		}
+	}
+}
+
+func TestCoServeBeatsSambaOnThroughput(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	task := smallTask(board, 400)
+	samba := buildSystem(t, hw.NUMADevice(), Samba, board)
+	sambaRep, err := samba.RunTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cosrv := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	cosrvRep, err := cosrv.RunTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cosrvRep.Throughput <= sambaRep.Throughput {
+		t.Errorf("CoServe %.2f img/s not above Samba %.2f img/s",
+			cosrvRep.Throughput, sambaRep.Throughput)
+	}
+	if cosrvRep.Switches >= sambaRep.Switches {
+		t.Errorf("CoServe switches %d not below Samba %d",
+			cosrvRep.Switches, sambaRep.Switches)
+	}
+}
+
+func TestPreschedReplayMatchesOnlineOrder(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	online := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	onlineRep, err := online.RunTask(smallTask(board, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := perfFor(t, hw.NUMADevice())
+	g, c := DefaultExecutors(hw.NUMADevice())
+	cfg := Config{
+		Device: hw.NUMADevice(), Variant: CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: CasualAllocation(hw.NUMADevice(), pm, g, c),
+		Perf:  pm, PreschedPicks: onlineRep.Picks,
+	}
+	replay, err := NewSystem(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayRep, err := replay.RunTask(smallTask(board, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayRep.SchedOps != 0 {
+		t.Errorf("replay recorded %d sched ops, want 0", replayRep.SchedOps)
+	}
+	// Zero-overhead scheduling in virtual time: identical makespan.
+	if replayRep.Makespan != onlineRep.Makespan {
+		t.Errorf("replay makespan %v != online %v", replayRep.Makespan, onlineRep.Makespan)
+	}
+	if replayRep.Switches != onlineRep.Switches {
+		t.Errorf("replay switches %d != online %d", replayRep.Switches, onlineRep.Switches)
+	}
+}
+
+func TestSystemRejectsBadConfigs(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	pm := perfFor(t, hw.NUMADevice())
+	bad := []Config{
+		{},
+		{Device: hw.NUMADevice()},
+		{Device: hw.NUMADevice(), GPUExecutors: 1, Perf: pm},
+		{Device: hw.NUMADevice(), GPUExecutors: 1, Perf: pm,
+			Alloc: Allocation{GPUExpertBytes: 1, GPUActBytes: 1 << 30}},
+		// Over-committed GPU memory.
+		{Device: hw.NUMADevice(), GPUExecutors: 1, Perf: pm,
+			Alloc: Allocation{GPUExpertBytes: 11 << 30, GPUActBytes: 11 << 30}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSystem(cfg, board.Model); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunTaskOnlyOnce(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	s := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	if _, err := s.RunTask(smallTask(board, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunTask(smallTask(board, 50)); err == nil {
+		t.Error("second RunTask accepted")
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	for _, v := range Variants() {
+		if v.String() == "" {
+			t.Errorf("variant %d has empty name", int(v))
+		}
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant string empty")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ExecutorStats is the per-executor slice of a report.
+type ExecutorStats struct {
+	Name      string
+	Processed int64
+	Batches   int64
+	Busy      time.Duration
+}
+
+// PoolStats is the per-model-pool slice of a report. With shared pools
+// (Samba-CoE Parallel) there are fewer pools than executors.
+type PoolStats struct {
+	Name      string
+	Loaded    int
+	Switches  int64
+	SSDLoads  int64
+	HostHits  int64
+	Evictions int64
+	LoadTime  time.Duration
+}
+
+// Report summarizes one task run.
+type Report struct {
+	System string
+	Device string
+	Task   string
+
+	N           int64
+	Completions int64
+	Makespan    time.Duration
+	// Throughput is completed images per second — the paper's primary
+	// metric (§5.1).
+	Throughput float64
+	// Switches is the total number of expert switch-ins across pools
+	// (Figure 14).
+	Switches  int64
+	SSDLoads  int64
+	HostHits  int64
+	Evictions int64
+
+	// Latency summarizes per-request end-to-end latency in seconds.
+	Latency stats.Summary
+
+	// SchedPerOp is the mean wall-clock cost of one scheduling decision;
+	// InferPerStage is the mean virtual processing time (execution plus
+	// loading) per pipeline stage (Figure 19).
+	SchedPerOp    time.Duration
+	SchedOps      int64
+	InferPerStage time.Duration
+
+	PerExecutor []ExecutorStats
+	PerPool     []PoolStats
+
+	// Picks is the recorded assignment sequence, replayable via
+	// Config.PreschedPicks.
+	Picks []int
+}
+
+// report assembles the Report after a completed run.
+func (s *System) report(task workload.Task) *Report {
+	r := &Report{
+		System:      s.cfg.Variant.String(),
+		Device:      s.cfg.Device.Name,
+		Task:        task.Name,
+		N:           s.recorder.Arrivals(),
+		Completions: s.recorder.Completions(),
+		Makespan:    s.recorder.Makespan(),
+		Throughput:  s.recorder.Throughput(),
+		Latency:     stats.Summarize(s.recorder.Latencies()),
+		SchedPerOp:  s.recorder.SchedPerOp(),
+		SchedOps:    s.recorder.SchedOps(),
+		Picks:       append([]int(nil), s.picks...),
+	}
+	var busy, load time.Duration
+	for _, ex := range s.executors {
+		busy += ex.BusyTime()
+		r.PerExecutor = append(r.PerExecutor, ExecutorStats{
+			Name:      ex.Name,
+			Processed: ex.Processed(),
+			Batches:   ex.Batches(),
+			Busy:      ex.BusyTime(),
+		})
+	}
+	for _, pl := range s.pools {
+		r.Switches += pl.Switches()
+		r.SSDLoads += pl.SSDLoads()
+		r.HostHits += pl.HostHits()
+		r.Evictions += pl.Evictions()
+		load += pl.LoadTime()
+		r.PerPool = append(r.PerPool, PoolStats{
+			Name:      pl.Name(),
+			Loaded:    pl.Loaded(),
+			Switches:  pl.Switches(),
+			SSDLoads:  pl.SSDLoads(),
+			HostHits:  pl.HostHits(),
+			Evictions: pl.Evictions(),
+			LoadTime:  pl.LoadTime(),
+		})
+	}
+	if stages := s.recorder.Stages(); stages > 0 {
+		r.InferPerStage = (busy + load) / time.Duration(stages)
+	}
+	return r
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestTracedRunRecordsConsistentEvents runs a small task with tracing on
+// and cross-checks the trace against the report.
+func TestTracedRunRecordsConsistentEvents(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	pm := perfFor(t, hw.NUMADevice())
+	g, c := DefaultExecutors(hw.NUMADevice())
+	log := trace.New()
+	cfg := Config{
+		Device: hw.NUMADevice(), Variant: CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: CasualAllocation(hw.NUMADevice(), pm, g, c),
+		Perf:  pm, Trace: log,
+	}
+	sys, err := NewSystem(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunTask(smallTask(board, 250))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := log.Count(trace.KindArrival); int64(got) != rep.N {
+		t.Errorf("arrival events = %d, want %d", got, rep.N)
+	}
+	if got := log.Count(trace.KindComplete); int64(got) != rep.Completions {
+		t.Errorf("complete events = %d, want %d", got, rep.Completions)
+	}
+	if got := log.Count(trace.KindSwitch); int64(got) != rep.Switches {
+		t.Errorf("switch events = %d, want report switches %d", got, rep.Switches)
+	}
+	// Assignments = stages dispatched >= requests.
+	if got := log.Count(trace.KindAssign); int64(got) < rep.N {
+		t.Errorf("assign events = %d, want >= %d", got, rep.N)
+	}
+	// Batches must cover all stages.
+	var batchedItems int
+	for _, ev := range log.Filter(trace.KindBatch) {
+		batchedItems += ev.N
+	}
+	if int64(batchedItems) != int64(log.Count(trace.KindAssign)) {
+		t.Errorf("batched items %d != assigned stages %d", batchedItems, log.Count(trace.KindAssign))
+	}
+	// Events are time-ordered.
+	prev := log.Events()[0].At
+	for _, ev := range log.Events() {
+		if ev.At < prev {
+			t.Fatal("trace events out of order")
+		}
+		prev = ev.At
+	}
+	// Exports succeed on real data.
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := log.WriteCSV(&csvBuf); err != nil {
+		t.Error(err)
+	}
+	if err := log.WriteJSON(&jsonBuf); err != nil {
+		t.Error(err)
+	}
+	if csvBuf.Len() == 0 || jsonBuf.Len() == 0 {
+		t.Error("empty export")
+	}
+}

@@ -1,0 +1,125 @@
+// Package executor implements inference executors: simulation processes
+// that drain a request queue, ensure the required expert is resident
+// (triggering managed expert switches), split work into batches bounded
+// by profiled maximum batch size and free activation memory, and execute
+// on the shared compute resource of their processor (§4.1 steps 4–8).
+package executor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/memory"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Executor drives one inference pipeline on a GPU or CPU.
+type Executor struct {
+	// Name identifies the executor ("gpu0", "cpu1", ...).
+	Name string
+	// Proc is the processor profile the executor runs on.
+	Proc ProcProfile
+	// Queue is the executor's request queue, fed by the controller.
+	Queue *sched.Queue
+	// Pool holds the executor's resident experts.
+	Pool *pool.Pool
+	// Compute serializes execution with the other executors sharing the
+	// physical processor.
+	Compute *sim.Resource
+	// Acts is the activation-memory arena shared by the executors of
+	// this processor (the §3.3 intermediate-results budget).
+	Acts *memory.Arena
+	// Perf returns the profiled performance entry for an expert.
+	Perf func(e *coe.Expert) model.Perf
+	// Done reports whether the task has fully completed; the executor
+	// exits when its queue is empty and Done is true.
+	Done func() bool
+	// OnBatch is called after a batch finishes, once per request, in
+	// queue order. The controller advances multi-stage requests and
+	// records completions here.
+	OnBatch func(p *sim.Proc, r *coe.Request)
+	// Observer, when set, is invoked once per executed batch.
+	Observer func(e *coe.Expert, n int, lat time.Duration)
+
+	processed int64
+	batches   int64
+	busy      time.Duration
+}
+
+// ProcProfile is the subset of the hardware profile executors need.
+type ProcProfile struct {
+	// Exec returns ground-truth execution latency for a batch.
+	Exec func(arch model.Architecture, batch int) time.Duration
+	// ActPerImage returns ground-truth activation bytes per image.
+	ActPerImage func(arch model.Architecture) int64
+}
+
+// Processed reports the number of requests executed.
+func (ex *Executor) Processed() int64 { return ex.processed }
+
+// Batches reports the number of batches executed.
+func (ex *Executor) Batches() int64 { return ex.batches }
+
+// BusyTime reports cumulative virtual execution time (excluding loads).
+func (ex *Executor) BusyTime() time.Duration { return ex.busy }
+
+// Run is the executor process body. Start it with env.Go(ex.Name, ex.Run).
+func (ex *Executor) Run(p *sim.Proc) {
+	if ex.OnBatch == nil || ex.Done == nil {
+		panic(fmt.Sprintf("executor %s: incomplete wiring", ex.Name))
+	}
+	for {
+		g := ex.Queue.Head()
+		if g == nil {
+			if ex.Done() {
+				return
+			}
+			ex.Queue.Gate().Wait(p)
+			continue
+		}
+		ex.serveGroup(p, g)
+	}
+}
+
+// serveGroup drains the head group: one expert switch at most, then as
+// many batches as the split bound allows.
+func (ex *Executor) serveGroup(p *sim.Proc, g *sched.Group) {
+	e := g.Expert
+	perf := ex.Perf(e)
+	ex.Pool.Acquire(p, e)
+	defer ex.Pool.Release(e.ID)
+
+	// The head group may keep growing while we execute (same-expert
+	// arrivals slot in behind it as fresh groups; see sched). We drain
+	// only this group; the loop in Run picks up successors.
+	for ex.Queue.Head() == g && g.Len() > 0 {
+		bound := sched.SplitBound(perf.MaxBatch, ex.Acts.Free(), perf.ActPerImage)
+		batch := ex.Queue.TakeFromHead(bound)
+		if len(batch) == 0 {
+			return
+		}
+		actBytes := perf.ActPerImage * int64(len(batch))
+		ex.Acts.WaitReserve(p, actBytes)
+
+		lat := ex.Proc.Exec(e.Arch, len(batch))
+		ex.Queue.SetBusyUntil(p.Now().Add(lat + g.PredictedRemaining()))
+		ex.Compute.Acquire(p)
+		p.Sleep(lat)
+		ex.Compute.Release(p)
+		ex.Acts.Release(actBytes)
+
+		ex.busy += lat
+		ex.batches++
+		ex.processed += int64(len(batch))
+		if ex.Observer != nil {
+			ex.Observer(e, len(batch), lat)
+		}
+		for _, r := range batch {
+			ex.OnBatch(p, r)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package executor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/hw"
+	"repro/internal/memory"
+	"repro/internal/model"
+	"repro/internal/pool"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// rig wires a single executor against a NUMA GPU with the given pool and
+// activation capacities.
+type rig struct {
+	env      *sim.Env
+	dev      *hw.Device
+	store    *pool.Store
+	queue    *sched.Queue
+	pool     *pool.Pool
+	acts     *memory.Arena
+	ex       *Executor
+	done     bool
+	finished []*coe.Request
+	model    *coe.Model
+}
+
+func newRig(t *testing.T, poolCap, actCap int64, maxBatch int) *rig {
+	t.Helper()
+	env := sim.NewEnv()
+	dev := hw.NUMADevice()
+	store := pool.NewStore(env, dev, 0)
+
+	b := coe.NewBuilder("rig")
+	for i := 0; i < 8; i++ {
+		id := b.AddExpert("c", model.ResNet101, coe.Preliminary)
+		b.AddRule(i, coe.Rule{Classifier: id})
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl := pool.New("gpu0", poolCap, store, memory.TierGPU, pool.LRU{}, env.Now)
+	perf := func(e *coe.Expert) model.Perf {
+		return model.Perf{
+			Arch:        e.Arch,
+			K:           model.KCoeff(e.Arch, dev.GPU),
+			B:           dev.GPU.LaunchOverhead,
+			MaxBatch:    maxBatch,
+			ActPerImage: model.ActBytesPerImage(e.Arch, dev.GPU),
+		}
+	}
+	r := &rig{env: env, dev: dev, store: store, pool: pl, model: m}
+	r.acts = memory.NewArena("acts", actCap)
+	r.queue = sched.NewQueue(env, "q0", sched.ModeGrouped, sched.Costs{
+		K:           func(e *coe.Expert) time.Duration { return perf(e).K },
+		B:           func(e *coe.Expert) time.Duration { return perf(e).B },
+		PredictLoad: func(e *coe.Expert) time.Duration { return store.PredictLoad(e, memory.TierGPU) },
+		IsLoaded:    pl.IsLoaded,
+	})
+	r.ex = &Executor{
+		Name:    "gpu0",
+		Proc:    ProcProfile{Exec: func(a model.Architecture, n int) time.Duration { return model.ExecLatency(a, dev.GPU, n) }, ActPerImage: func(a model.Architecture) int64 { return model.ActBytesPerImage(a, dev.GPU) }},
+		Queue:   r.queue,
+		Pool:    pl,
+		Compute: sim.NewResource(env, "gpu", 1),
+		Acts:    r.acts,
+		Perf:    perf,
+		Done:    func() bool { return r.done },
+		OnBatch: func(p *sim.Proc, req *coe.Request) { r.finished = append(r.finished, req) },
+	}
+	return r
+}
+
+func (r *rig) enqueue(reqs ...*coe.Request) {
+	for _, rq := range reqs {
+		r.queue.Enqueue(r.model.Expert(rq.Expert()), rq)
+	}
+}
+
+func (r *rig) finish() {
+	r.done = true
+	r.queue.Gate().Notify()
+}
+
+func mkReq(id int64, e coe.ExpertID) *coe.Request {
+	return coe.NewRequest(id, int(e), []coe.ExpertID{e})
+}
+
+const rn101Bytes = 178_196_640
+
+func TestExecutorProcessesAllRequests(t *testing.T) {
+	r := newRig(t, 4*rn101Bytes, 8<<30, 16)
+	for i := 0; i < 10; i++ {
+		r.enqueue(mkReq(int64(i), coe.ExpertID(i%2)))
+	}
+	r.finish()
+	r.env.Go("gpu0", r.ex.Run)
+	r.env.Run()
+	if len(r.finished) != 10 {
+		t.Fatalf("finished %d of 10", len(r.finished))
+	}
+	if r.ex.Processed() != 10 {
+		t.Errorf("processed = %d", r.ex.Processed())
+	}
+	if r.pool.Switches() != 2 {
+		t.Errorf("switches = %d, want 2 (one per expert)", r.pool.Switches())
+	}
+}
+
+func TestExecutorBatchesWithinProfiledMax(t *testing.T) {
+	r := newRig(t, 4*rn101Bytes, 64<<30, 4)
+	for i := 0; i < 10; i++ {
+		r.enqueue(mkReq(int64(i), 0))
+	}
+	r.finish()
+	r.env.Go("gpu0", r.ex.Run)
+	r.env.Run()
+	// 10 requests at max batch 4 -> batches of 4,4,2.
+	if r.ex.Batches() != 3 {
+		t.Errorf("batches = %d, want 3", r.ex.Batches())
+	}
+}
+
+func TestExecutorRespectsMemoryBound(t *testing.T) {
+	// Activation arena fits only 2 images -> batches of <= 2 even though
+	// the profile allows 16.
+	per := model.ActBytesPerImage(model.ResNet101, hw.NUMADevice().GPU)
+	r := newRig(t, 4*rn101Bytes, 2*per+per/2, 16)
+	for i := 0; i < 6; i++ {
+		r.enqueue(mkReq(int64(i), 0))
+	}
+	r.finish()
+	r.env.Go("gpu0", r.ex.Run)
+	r.env.Run()
+	if r.ex.Batches() != 3 {
+		t.Errorf("batches = %d, want 3 (memory-bound batches of 2)", r.ex.Batches())
+	}
+	if len(r.finished) != 6 {
+		t.Errorf("finished = %d of 6", len(r.finished))
+	}
+	if r.acts.Reserved() != 0 {
+		t.Errorf("activation bytes leaked: %d", r.acts.Reserved())
+	}
+}
+
+func TestExecutorBatchTimingMatchesModel(t *testing.T) {
+	r := newRig(t, 4*rn101Bytes, 8<<30, 16)
+	r.pool.Preload(r.model.Expert(0))
+	for i := 0; i < 8; i++ {
+		r.enqueue(mkReq(int64(i), 0))
+	}
+	r.finish()
+	r.env.Go("gpu0", r.ex.Run)
+	end := r.env.Run()
+	want := model.ExecLatency(model.ResNet101, r.dev.GPU, 8)
+	if end != sim.Time(want) {
+		t.Errorf("run took %v, want one batch = %v", end, want)
+	}
+	if r.ex.BusyTime() != want {
+		t.Errorf("busy = %v, want %v", r.ex.BusyTime(), want)
+	}
+}
+
+func TestExecutorSwitchThenExecute(t *testing.T) {
+	r := newRig(t, 4*rn101Bytes, 8<<30, 16)
+	r.enqueue(mkReq(0, 0))
+	r.finish()
+	r.env.Go("gpu0", r.ex.Run)
+	end := r.env.Run()
+	load := r.store.PredictLoad(r.model.Expert(0), memory.TierGPU)
+	exec := model.ExecLatency(model.ResNet101, r.dev.GPU, 1)
+	if end != sim.Time(load+exec) {
+		t.Errorf("run took %v, want load+exec = %v", end, load+exec)
+	}
+}
+
+func TestExecutorWaitsForWorkThenExits(t *testing.T) {
+	r := newRig(t, 4*rn101Bytes, 8<<30, 16)
+	r.env.Go("gpu0", r.ex.Run)
+	r.env.Go("ctrl", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		r.enqueue(mkReq(0, 0))
+		p.Sleep(5 * time.Second)
+		r.finish()
+	})
+	r.env.Run()
+	if len(r.finished) != 1 {
+		t.Fatalf("finished = %d, want 1", len(r.finished))
+	}
+	if r.env.Procs() != 0 {
+		t.Errorf("%d processes still alive (executor did not exit)", r.env.Procs())
+	}
+}
+
+func TestTwoExecutorsShareComputeSerially(t *testing.T) {
+	// Two executors on one GPU: loads overlap with execution, but
+	// execution itself serializes on the compute resource.
+	env := sim.NewEnv()
+	dev := hw.NUMADevice()
+	store := pool.NewStore(env, dev, 0)
+	b := coe.NewBuilder("m")
+	e0 := b.AddExpert("a", model.ResNet101, coe.Preliminary)
+	e1 := b.AddExpert("b", model.ResNet101, coe.Preliminary)
+	b.AddRule(0, coe.Rule{Classifier: e0})
+	b.AddRule(1, coe.Rule{Classifier: e1})
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := sim.NewResource(env, "gpu", 1)
+	acts := memory.NewArena("acts", 8<<30)
+	done := false
+	var finished int
+	mk := func(name string, preload coe.ExpertID) *Executor {
+		pl := pool.New(name, 4*rn101Bytes, store, memory.TierGPU, pool.LRU{}, env.Now)
+		pl.Preload(m.Expert(preload))
+		q := sched.NewQueue(env, name, sched.ModeGrouped, sched.Costs{
+			K:           func(e *coe.Expert) time.Duration { return model.KCoeff(e.Arch, dev.GPU) },
+			B:           func(e *coe.Expert) time.Duration { return dev.GPU.LaunchOverhead },
+			PredictLoad: func(e *coe.Expert) time.Duration { return store.PredictLoad(e, memory.TierGPU) },
+			IsLoaded:    pl.IsLoaded,
+		})
+		return &Executor{
+			Name:    name,
+			Proc:    ProcProfile{Exec: func(a model.Architecture, n int) time.Duration { return model.ExecLatency(a, dev.GPU, n) }, ActPerImage: func(a model.Architecture) int64 { return model.ActBytesPerImage(a, dev.GPU) }},
+			Queue:   q,
+			Pool:    pl,
+			Compute: compute,
+			Acts:    acts,
+			Perf: func(e *coe.Expert) model.Perf {
+				return model.Perf{Arch: e.Arch, K: model.KCoeff(e.Arch, dev.GPU), B: dev.GPU.LaunchOverhead, MaxBatch: 16, ActPerImage: model.ActBytesPerImage(e.Arch, dev.GPU)}
+			},
+			Done:    func() bool { return done },
+			OnBatch: func(p *sim.Proc, r *coe.Request) { finished++ },
+		}
+	}
+	ex0, ex1 := mk("g0", e0), mk("g1", e1)
+	ex0.Queue.Enqueue(m.Expert(e0), mkReq(0, e0))
+	ex1.Queue.Enqueue(m.Expert(e1), mkReq(1, e1))
+	done = true
+	env.Go("g0", ex0.Run)
+	env.Go("g1", ex1.Run)
+	end := env.Run()
+	exec1 := model.ExecLatency(model.ResNet101, dev.GPU, 1)
+	if end != sim.Time(2*exec1) {
+		t.Errorf("two preloaded single-request groups took %v, want serialized 2x%v", end, exec1)
+	}
+	if finished != 2 {
+		t.Errorf("finished = %d, want 2", finished)
+	}
+}

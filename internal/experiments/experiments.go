@@ -1,0 +1,349 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§1 Figure 1, §3 Figures 5/6, §4 Figures 11/12, §5 Figures
+// 13–19 and Table 1). Each experiment is a named, deterministic function
+// returning a printable table; the CLI (cmd/coserve) and the benchmark
+// harness (bench_test.go) both run through this registry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/profiler"
+	"repro/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.Columns, "\t"))
+	dashes := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		dashes[i] = strings.Repeat("-", len(c))
+	}
+	fmt.Fprintln(w, strings.Join(dashes, "\t"))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one registered reproduction target.
+type Experiment struct {
+	ID    string
+	Paper string // the paper artifact this regenerates
+	Desc  string
+	Run   func(ctx *Context) (*Table, error)
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"tab1", "Table 1", "hardware profiles of the evaluation devices", Table1},
+		{"fig1", "Figure 1", "expert switching latency share by memory path", Figure1},
+		{"fig5", "Figure 5", "average inference latency vs batch size", Figure5},
+		{"fig6", "Figure 6", "memory footprint vs batch size", Figure6},
+		{"fig11", "Figure 11", "cumulative distribution of expert usage", Figure11},
+		{"fig12", "Figure 12", "execution latency vs batch size", Figure12},
+		{"fig13", "Figure 13", "throughput of CoServe and baselines", Figure13},
+		{"fig14", "Figure 14", "number of expert switches", Figure14},
+		{"fig15", "Figure 15", "ablation: throughput per optimization", Figure15},
+		{"fig16", "Figure 16", "ablation: expert switches per optimization", Figure16},
+		{"fig17", "Figure 17", "throughput under different executor counts", Figure17},
+		{"fig18", "Figure 18", "decay-window memory allocation search", Figure18},
+		{"fig19", "Figure 19", "scheduling overhead vs inference latency", Figure19},
+	}
+}
+
+// All returns the paper artifacts followed by the extension experiments.
+func All() []Experiment {
+	return append(Registry(), extRegistry()...)
+}
+
+// ByID finds an experiment (paper artifact or extension).
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (try: %s)", id, strings.Join(IDs(), " "))
+}
+
+// IDs lists all experiment IDs in order.
+func IDs() []string {
+	reg := All()
+	ids := make([]string, len(reg))
+	for i, e := range reg {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// Context caches the expensive shared state — boards, profiled
+// performance matrices, the evaluation grid of task runs, and the
+// offline-search results — so the figure set can be regenerated in one
+// process without repeating work. A Context is not safe for concurrent
+// use.
+type Context struct {
+	boards map[string]*workload.Board
+	perf   map[string]model.PerfMatrix
+	grid   map[gridKey]*core.Report
+	best   map[string]bestChoice
+}
+
+type gridKey struct {
+	dev     string
+	variant core.Variant
+	task    string
+	best    bool
+}
+
+// NewContext returns an empty cache.
+func NewContext() *Context {
+	return &Context{
+		boards: make(map[string]*workload.Board),
+		perf:   make(map[string]model.PerfMatrix),
+		grid:   make(map[gridKey]*core.Report),
+		best:   make(map[string]bestChoice),
+	}
+}
+
+// evalArchs are the architectures the evaluation uses (§5.1).
+var evalArchs = []model.Architecture{model.ResNet101, model.YOLOv5m, model.YOLOv5l}
+
+// devices returns the two evaluation platforms in paper order.
+func devices() []*hw.Device {
+	return []*hw.Device{hw.NUMADevice(), hw.UMADevice()}
+}
+
+// Board returns the memoized board for a spec.
+func (c *Context) Board(spec workload.BoardSpec) (*workload.Board, error) {
+	if b, ok := c.boards[spec.Name]; ok {
+		return b, nil
+	}
+	b, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	c.boards[spec.Name] = b
+	return b, nil
+}
+
+// Perf returns the memoized offline performance matrix for a device.
+func (c *Context) Perf(dev *hw.Device) (model.PerfMatrix, error) {
+	if pm, ok := c.perf[dev.Name]; ok {
+		return pm, nil
+	}
+	pm, err := profiler.Matrix(dev, evalArchs)
+	if err != nil {
+		return nil, err
+	}
+	c.perf[dev.Name] = pm
+	return pm, nil
+}
+
+// tasks returns the four evaluation tasks over the two boards.
+func (c *Context) tasks() ([]workload.Task, error) {
+	a, err := c.Board(workload.BoardA())
+	if err != nil {
+		return nil, err
+	}
+	b, err := c.Board(workload.BoardB())
+	if err != nil {
+		return nil, err
+	}
+	return []workload.Task{
+		workload.TaskA1(a), workload.TaskA2(a),
+		workload.TaskB1(b), workload.TaskB2(b),
+	}, nil
+}
+
+// sampleTask is the offline phase's "smaller, representative dataset
+// sampled from the application scenario" (§4.4).
+func sampleTask(b *workload.Board) workload.Task {
+	return workload.Task{
+		Name:          "sample-" + b.Spec.Name,
+		Board:         b,
+		N:             600,
+		ArrivalPeriod: workload.DefaultArrivalPeriod,
+		Seed:          777,
+	}
+}
+
+// run executes (and memoizes) one task under one system configuration.
+func (c *Context) run(dev *hw.Device, v core.Variant, task workload.Task, useBest bool) (*core.Report, error) {
+	key := gridKey{dev: dev.Name, variant: v, task: task.Name + "/" + task.Board.Spec.Name, best: useBest}
+	if rep, ok := c.grid[key]; ok {
+		return rep, nil
+	}
+	cfg, err := c.configFor(dev, v, task.Board, useBest)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cfg, task.Board.Model)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sys.RunTask(task)
+	if err != nil {
+		return nil, err
+	}
+	c.grid[key] = rep
+	return rep, nil
+}
+
+// configFor assembles the configuration a variant runs under: Samba
+// variants get the Samba memory layout, CoServe variants the casual
+// layout, and "best" the offline-searched layout (§5.2).
+func (c *Context) configFor(dev *hw.Device, v core.Variant, board *workload.Board, useBest bool) (core.Config, error) {
+	pm, err := c.Perf(dev)
+	if err != nil {
+		return core.Config{}, err
+	}
+	g, cp := core.DefaultExecutors(dev)
+	cfg := core.Config{Device: dev, Variant: v, GPUExecutors: g, CPUExecutors: cp, Perf: pm}
+	switch {
+	case v == core.Samba || v == core.SambaFIFO:
+		cfg.Alloc = core.SambaAllocation(dev, pm)
+	case useBest:
+		best, err := c.Best(dev, board)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.GPUExecutors, cfg.CPUExecutors = best.gpus, best.cpus
+		cfg.Alloc = best.alloc
+	default:
+		cfg.Alloc = core.CasualAllocation(dev, pm, g, cp)
+	}
+	return cfg, nil
+}
+
+// bestChoice is the offline phase's output for one device+board.
+type bestChoice struct {
+	gpus, cpus int
+	alloc      core.Allocation
+	search     profiler.SearchResult
+	topo       []profiler.TopologyPoint
+}
+
+// Best runs (and memoizes) the offline configuration search: the
+// executor-count sweep of Figure 17 followed by the decay-window memory
+// search of §4.4/Figure 18, both on the sample dataset.
+func (c *Context) Best(dev *hw.Device, board *workload.Board) (bestChoice, error) {
+	key := dev.Name + "/" + board.Spec.Name
+	if b, ok := c.best[key]; ok {
+		return b, nil
+	}
+	pm, err := c.Perf(dev)
+	if err != nil {
+		return bestChoice{}, err
+	}
+	task := sampleTask(board)
+
+	topoRunner := func(g, cp int) (float64, error) {
+		cfg := core.Config{
+			Device: dev, Variant: core.CoServe,
+			GPUExecutors: g, CPUExecutors: cp,
+			Alloc: core.CasualAllocation(dev, pm, g, cp), Perf: pm,
+		}
+		sys, err := core.NewSystem(cfg, board.Model)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := sys.RunTask(task)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Throughput, nil
+	}
+	// Paper sweep: 1..5 GPU executors with one CPU executor, then the
+	// best GPU count with two.
+	phase1 := [][2]int{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}}
+	points, bestIdx, err := profiler.TopologySweep(phase1, topoRunner)
+	if err != nil {
+		return bestChoice{}, err
+	}
+	bestG := points[bestIdx].GPUs
+	more, _, err := profiler.TopologySweep([][2]int{{bestG, 2}}, topoRunner)
+	if err != nil {
+		return bestChoice{}, err
+	}
+	points = append(points, more...)
+	gBest, cBest, tpBest := points[0].GPUs, points[0].CPUs, points[0].Throughput
+	for _, p := range points {
+		if p.Throughput > tpBest {
+			gBest, cBest, tpBest = p.GPUs, p.CPUs, p.Throughput
+		}
+	}
+
+	maxExperts := core.MaxGPUExperts(dev, pm, gBest, cBest, evalArchs)
+	params := profiler.DefaultSearchParams(maxExperts)
+	// The per-pool floor: each GPU pool must hold two largest experts.
+	minExperts := 3 * gBest
+	search, err := profiler.DecayWindow(params, func(n int) (float64, error) {
+		if n < minExperts {
+			n = minExperts
+		}
+		cfg := core.Config{
+			Device: dev, Variant: core.CoServe,
+			GPUExecutors: gBest, CPUExecutors: cBest,
+			Alloc: core.AllocationForExperts(dev, pm, n, gBest, cBest), Perf: pm,
+		}
+		sys, err := core.NewSystem(cfg, board.Model)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := sys.RunTask(task)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Throughput, nil
+	})
+	if err != nil {
+		return bestChoice{}, err
+	}
+	selected := search.Selected
+	if selected < minExperts {
+		selected = minExperts
+	}
+	choice := bestChoice{
+		gpus: gBest, cpus: cBest,
+		alloc:  core.AllocationForExperts(dev, pm, selected, gBest, cBest),
+		search: search,
+		topo:   points,
+	}
+	c.best[key] = choice
+	return choice, nil
+}
+
+// sortedKeys is a small helper for deterministic map iteration in
+// rendering code.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtensionRegistryIncluded(t *testing.T) {
+	if len(All()) != len(Registry())+3 {
+		t.Errorf("All() = %d entries, want %d", len(All()), len(Registry())+3)
+	}
+	for _, id := range []string{"ext-evict", "ext-ssd", "ext-arrival"} {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("extension %s not registered: %v", id, err)
+		}
+	}
+}
+
+func TestExtEvictionProbabilityBeatsLRU(t *testing.T) {
+	tb := runExp(t, "ext-evict")
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	// Per device: both probability-based policies must beat LRU on
+	// throughput (the §3.2 argument for pre-assessed probabilities).
+	for d := 0; d < 2; d++ {
+		lru := cellFloat(t, tb, d*3, "throughput")
+		prob := cellFloat(t, tb, d*3+1, "throughput")
+		dep := cellFloat(t, tb, d*3+2, "throughput")
+		if prob <= lru || dep <= lru {
+			t.Errorf("device %d: probability policies (%.1f, %.1f) not above LRU (%.1f)", d, prob, dep, lru)
+		}
+	}
+}
+
+func TestExtSSDSweepNarrowsButKeepsWin(t *testing.T) {
+	tb := runExp(t, "ext-ssd")
+	prevRatio := 1e18
+	for i := range tb.Rows {
+		r := tb.Rows[i][3]
+		ratio, err := strconv.ParseFloat(r[:len(r)-1], 64)
+		if err != nil {
+			t.Fatalf("bad ratio %q", r)
+		}
+		if ratio <= 1.5 {
+			t.Errorf("row %d: CoServe advantage %.1fx collapsed", i, ratio)
+		}
+		if ratio > prevRatio {
+			t.Errorf("row %d: advantage grew with faster storage (%.1fx after %.1fx)", i, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestExtArrivalSweepSwitchesGrowWithSparsity(t *testing.T) {
+	tb := runExp(t, "ext-arrival")
+	prev := -1.0
+	for i := range tb.Rows {
+		sw := cellFloat(t, tb, i, "switches")
+		if sw < prev {
+			t.Errorf("row %d: switches fell (%.0f after %.0f) despite sparser arrivals", i, sw, prev)
+		}
+		prev = sw
+	}
+}

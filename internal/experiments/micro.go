@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/memory"
+	"repro/internal/model"
+	"repro/internal/profiler"
+	"repro/internal/xfer"
+)
+
+// Table1 prints the hardware profiles (paper Table 1).
+func Table1(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "tab1",
+		Title:   "Hardware for evaluation (Table 1)",
+		Columns: []string{"property", "NUMA", "UMA"},
+	}
+	numa, uma := hw.NUMADevice(), hw.UMADevice()
+	gb := func(b int64) string { return fmt.Sprintf("%d GB", b/hw.GiB) }
+	t.Rows = [][]string{
+		{"GPU", numa.GPU.Name, uma.GPU.Name},
+		{"CPU", numa.CPU.Name, uma.CPU.Name},
+		{"GPU memory", gb(numa.GPUMemBytes), gb(uma.UnifiedMemBytes) + " (unified)"},
+		{"CPU memory", gb(numa.CPUMemBytes), "(unified)"},
+		{"SSD", numa.SSDName, uma.SSDName},
+		{"SSD read bandwidth", fmt.Sprintf("%.0f MB/s", numa.SSDReadBW/1e6), fmt.Sprintf("%.0f MB/s", uma.SSDReadBW/1e6)},
+	}
+	return t, nil
+}
+
+// Figure1 reproduces the switching-latency proportions: the share of
+// expert switching latency in (switching + execution) for each expert
+// architecture, per memory path, on both devices.
+func Figure1(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Expert switching latency share of inference latency (Figure 1)",
+		Columns: []string{"device", "path", "architecture", "switch", "exec", "switch share"},
+		Notes: []string{
+			"paper: >90% for SSD→GPU on both devices; 60–86% for CPU→GPU",
+			"execution latency taken at the processor's saturation batch size",
+		},
+	}
+	for _, dev := range devices() {
+		for _, path := range []struct {
+			name string
+			src  xfer.Source
+		}{{"CPU to GPU", xfer.FromHost}, {"SSD to GPU", xfer.FromSSD}} {
+			for _, arch := range evalArchs {
+				sw := xfer.LoadLatency(dev, path.src, memory.TierGPU, arch.WeightBytes())
+				exec := model.ExecLatency(arch, dev.GPU, dev.GPU.SatBatch)
+				share := float64(sw) / float64(sw+exec)
+				t.Rows = append(t.Rows, []string{
+					dev.Mem.String(), path.name, arch.Name,
+					fmt.Sprintf("%v", sw.Round(msRound)),
+					fmt.Sprintf("%v", exec.Round(msRound)),
+					fmt.Sprintf("%.1f%%", share*100),
+				})
+			}
+		}
+	}
+	return t, nil
+}
+
+const msRound = 100 * 1000 // 0.1ms in ns
+
+// batchSizes is the sweep reported for Figures 5, 6 and 12.
+var batchSizes = []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32}
+
+// Figure5 reproduces average inference latency vs batch size on GPU and
+// CPU for both devices (ResNet101 workload).
+func Figure5(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Average inference latency vs batch size (Figure 5)",
+		Columns: []string{"batch", "NUMA GPU", "UMA GPU", "NUMA CPU", "UMA CPU"},
+		Notes: []string{
+			"values in ms/image; paper: larger batches reduce average latency, then benefits diminish",
+			"interior optimum on CPU (§3.3): NUMA/UMA CPU worsen beyond small batches",
+		},
+	}
+	sweeps := batchSweeps(model.ResNet101)
+	for _, n := range batchSizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range sweeps {
+			row = append(row, fmt.Sprintf("%.2f", float64(s[n-1].Avg.Microseconds())/1000))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure6 reproduces memory footprint vs batch size.
+func Figure6(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Memory footprint vs batch size (Figure 6)",
+		Columns: []string{"batch", "NUMA GPU", "UMA GPU", "NUMA CPU", "UMA CPU"},
+		Notes: []string{
+			"activation GB for a ResNet101 batch; §3.3: one extra NUMA-GPU image ≈ 1.5 experts",
+		},
+	}
+	sweeps := batchSweeps(model.ResNet101)
+	for _, n := range batchSizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, s := range sweeps {
+			row = append(row, fmt.Sprintf("%.2f", float64(s[n-1].Footprint)/1e9))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure12 reproduces whole-batch execution latency growth for
+// ResNet101 and YOLOv5m.
+func Figure12(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:    "fig12",
+		Title: "Execution latency vs batch size (Figure 12)",
+		Columns: []string{
+			"batch",
+			"NUMA GPU rn101", "NUMA GPU y5m",
+			"NUMA CPU rn101", "NUMA CPU y5m",
+			"UMA GPU rn101", "UMA GPU y5m",
+			"UMA CPU rn101", "UMA CPU y5m",
+		},
+		Notes: []string{"values in ms; paper: linear K·n + B growth, CPU well above GPU"},
+	}
+	type sweep = []profiler.BatchPoint
+	var cols []sweep
+	for _, dev := range devices() {
+		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+			for _, arch := range []model.Architecture{model.ResNet101, model.YOLOv5m} {
+				cols = append(cols, profiler.BatchSweep(dev, arch, kind, 32))
+			}
+		}
+	}
+	// Column order above is device-major; reorder rows to the header.
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, n := range batchSizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, i := range order {
+			row = append(row, fmt.Sprintf("%.1f", float64(cols[i][n-1].Exec.Microseconds())/1000))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// batchSweeps runs the Figure 5/6 sweep in column order NUMA GPU, UMA
+// GPU, NUMA CPU, UMA CPU.
+func batchSweeps(arch model.Architecture) [][]profiler.BatchPoint {
+	numa, uma := hw.NUMADevice(), hw.UMADevice()
+	return [][]profiler.BatchPoint{
+		profiler.BatchSweep(numa, arch, hw.GPU, 32),
+		profiler.BatchSweep(uma, arch, hw.GPU, 32),
+		profiler.BatchSweep(numa, arch, hw.CPU, 32),
+		profiler.BatchSweep(uma, arch, hw.CPU, 32),
+	}
+}
+
+// Figure11 reproduces the cumulative distribution of expert usage for
+// Circuit Board A, with the linear and step references.
+func Figure11(ctx *Context) (*Table, error) {
+	board, err := ctx.Board(workloadBoardA())
+	if err != nil {
+		return nil, err
+	}
+	cdf := board.Model.UsageCDF()
+	n := len(cdf)
+	t := &Table{
+		ID:      "fig11",
+		Title:   "CDF of expert usage, Board A (Figure 11)",
+		Columns: []string{"experts", "actual CDF", "linear", "step"},
+		Notes: []string{
+			"paper: the actual curve lies between the linear and step extremes",
+		},
+	}
+	for _, k := range []int{1, 5, 10, 20, 35, 50, 75, 100, 150, 200, 300, n} {
+		if k > n {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3f", cdf[k-1]),
+			fmt.Sprintf("%.3f", float64(k)/float64(n)),
+			"1.000",
+		})
+	}
+	return t, nil
+}

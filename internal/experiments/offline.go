@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Figure17 reproduces the executor-count sweep ("Measurement A/B" run a
+// portion of the board data offline, §5.3).
+func Figure17(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Throughput under different executor counts, img/s (Figure 17)",
+		Columns: []string{"device", "measurement", "1G+1C", "2G+1C", "3G+1C", "4G+1C", "5G+1C", "bestG+2C"},
+		Notes: []string{
+			"paper: 3–4 GPU executors with one CPU executor perform best; fewer under-utilize, more add overhead",
+		},
+	}
+	specs := []workload.BoardSpec{workload.BoardA(), workload.BoardB()}
+	labels := []string{"Measurement A", "Measurement B"}
+	for _, dev := range devices() {
+		for i, spec := range specs {
+			board, err := ctx.Board(spec)
+			if err != nil {
+				return nil, err
+			}
+			best, err := ctx.Best(dev, board)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{dev.Mem.String(), labels[i]}
+			for _, p := range best.topo {
+				row = append(row, fmt.Sprintf("%.1f (%dG+%dC)", p.Throughput, p.GPUs, p.CPUs))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Figure18 reproduces the decay-window memory-allocation search on the
+// NUMA GPU: throughput at each window boundary, the selected window, and
+// the chosen expert count.
+func Figure18(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig18",
+		Title:   "Decay-window search on the NUMA device (Figure 18)",
+		Columns: []string{"measurement", "experts@window", "throughput", "window", "selected", "deviation"},
+		Notes: []string{
+			"paper: throughput rises then falls as loaded experts squeeze batch memory; the peak lies inside the selected window",
+			"initial window 15, error margin 5% (§5.3)",
+		},
+	}
+	dev := devices()[0] // NUMA, as in the paper
+	specs := []workload.BoardSpec{workload.BoardA(), workload.BoardB()}
+	labels := []string{"Measurement A", "Measurement B"}
+	for i, spec := range specs {
+		board, err := ctx.Board(spec)
+		if err != nil {
+			return nil, err
+		}
+		best, err := ctx.Best(dev, board)
+		if err != nil {
+			return nil, err
+		}
+		for j, p := range best.search.Points {
+			row := []string{labels[i], fmt.Sprintf("%d", p.Experts), fmt.Sprintf("%.1f", p.Throughput), "", "", ""}
+			if j == len(best.search.Points)-1 {
+				row[3] = fmt.Sprintf("[%d,%d]", best.search.WindowLo, best.search.WindowHi)
+				row[4] = fmt.Sprintf("%d", best.search.Selected)
+				row[5] = fmt.Sprintf("%.1f%%", best.search.Deviation*100)
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Figure19 reproduces the overhead analysis: the wall-clock cost of one
+// scheduling decision vs the virtual per-stage inference latency, and
+// the pre-scheduled control run that executes the same order with zero
+// online scheduling.
+func Figure19(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig19",
+		Title:   "Scheduling overhead vs inference latency (Figure 19)",
+		Columns: []string{"device", "task", "sched/op (wall)", "infer/stage (sim)", "online tp", "pre-sched tp", "gap"},
+		Notes: []string{
+			"paper: scheduling is faster than inference and costs <3% end to end",
+			"scheduling cost is measured on the real CPU; inference latency is simulated — the comparison mirrors the paper's argument, not its absolute scale",
+		},
+	}
+	tasks, err := ctx.tasks()
+	if err != nil {
+		return nil, err
+	}
+	for _, dev := range devices() {
+		for _, task := range tasks {
+			if task.Name != "A2" && task.Name != "B2" {
+				continue
+			}
+			online, err := ctx.run(dev, core.CoServe, task, false)
+			if err != nil {
+				return nil, err
+			}
+			pm, err := ctx.Perf(dev)
+			if err != nil {
+				return nil, err
+			}
+			g, cp := core.DefaultExecutors(dev)
+			cfg := core.Config{
+				Device: dev, Variant: core.CoServe,
+				GPUExecutors: g, CPUExecutors: cp,
+				Alloc: core.CasualAllocation(dev, pm, g, cp),
+				Perf:  pm, PreschedPicks: online.Picks,
+			}
+			sys, err := core.NewSystem(cfg, task.Board.Model)
+			if err != nil {
+				return nil, err
+			}
+			presched, err := sys.RunTask(task)
+			if err != nil {
+				return nil, err
+			}
+			gap := 0.0
+			if presched.Throughput > 0 {
+				gap = (presched.Throughput - online.Throughput) / presched.Throughput
+			}
+			t.Rows = append(t.Rows, []string{
+				dev.Mem.String(), task.Name,
+				online.SchedPerOp.Round(10 * time.Nanosecond).String(),
+				online.InferPerStage.Round(100 * time.Microsecond).String(),
+				fmt.Sprintf("%.1f", online.Throughput),
+				fmt.Sprintf("%.1f", presched.Throughput),
+				fmt.Sprintf("%.2f%%", gap*100),
+			})
+		}
+	}
+	return t, nil
+}

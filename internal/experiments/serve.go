@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// workloadBoardA is an indirection kept tiny so micro.go need not import
+// workload directly in its signature helpers.
+func workloadBoardA() workload.BoardSpec { return workload.BoardA() }
+
+// figure13Systems are the five bars of Figures 13 and 14, in paper
+// order.
+type evalSystem struct {
+	label   string
+	variant core.Variant
+	best    bool
+}
+
+func figure13Systems() []evalSystem {
+	return []evalSystem{
+		{"Samba-CoE", core.Samba, false},
+		{"Samba-CoE FIFO", core.SambaFIFO, false},
+		{"Samba-CoE Parallel", core.SambaParallel, false},
+		{"CoServe Best", core.CoServe, true},
+		{"CoServe Casual", core.CoServe, false},
+	}
+}
+
+// Figure13 reproduces throughput of CoServe and the baselines across
+// the four tasks on both devices.
+func Figure13(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Throughput of CoServe and baselines, img/s (Figure 13)",
+		Columns: []string{"device", "task", "Samba", "Samba FIFO", "Samba Par.", "CoServe Best", "CoServe Casual", "best/samba", "best/fifo", "best/par"},
+		Notes: []string{
+			"paper: CoServe achieves 4.5×–12× the baselines' throughput",
+			"paper: Casual trails Best by 5.7%–18.8%",
+		},
+	}
+	tasks, err := ctx.tasks()
+	if err != nil {
+		return nil, err
+	}
+	for _, dev := range devices() {
+		for _, task := range tasks {
+			row := []string{dev.Mem.String(), task.Name}
+			var tps []float64
+			for _, s := range figure13Systems() {
+				rep, err := ctx.run(dev, s.variant, task, s.best)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", dev.Name, task.Name, s.label, err)
+				}
+				tps = append(tps, rep.Throughput)
+				row = append(row, fmt.Sprintf("%.1f", rep.Throughput))
+			}
+			best := tps[3]
+			row = append(row,
+				fmt.Sprintf("%.1f×", best/tps[0]),
+				fmt.Sprintf("%.1f×", best/tps[1]),
+				fmt.Sprintf("%.1f×", best/tps[2]))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Figure14 reproduces the expert switch counts of the same runs.
+func Figure14(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig14",
+		Title:   "Number of expert switches (Figure 14)",
+		Columns: []string{"device", "task", "Samba", "Samba FIFO", "Samba Par.", "CoServe Best", "CoServe Casual", "reduction"},
+		Notes: []string{
+			"paper: CoServe cuts switches by 78.5%–93.9% vs the best baseline",
+		},
+	}
+	tasks, err := ctx.tasks()
+	if err != nil {
+		return nil, err
+	}
+	for _, dev := range devices() {
+		for _, task := range tasks {
+			row := []string{dev.Mem.String(), task.Name}
+			var switches []int64
+			for _, s := range figure13Systems() {
+				rep, err := ctx.run(dev, s.variant, task, s.best)
+				if err != nil {
+					return nil, err
+				}
+				switches = append(switches, rep.Switches)
+				row = append(row, fmt.Sprintf("%d", rep.Switches))
+			}
+			minBase := switches[0]
+			for _, s := range switches[1:3] {
+				if s < minBase {
+					minBase = s
+				}
+			}
+			row = append(row, fmt.Sprintf("%.1f%%", 100*(1-float64(switches[3])/float64(minBase))))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// ablationSystems are the four bars of Figures 15 and 16.
+func ablationSystems() []evalSystem {
+	return []evalSystem{
+		{"CoServe None", core.CoServeNone, false},
+		{"CoServe EM", core.CoServeEM, false},
+		{"CoServe EM+RA", core.CoServeEMRA, false},
+		{"CoServe", core.CoServe, false},
+	}
+}
+
+// Figure15 reproduces the ablation throughput breakdown.
+func Figure15(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Ablation: throughput per optimization, img/s (Figure 15)",
+		Columns: []string{"device", "task", "None", "EM", "EM+RA", "CoServe"},
+		Notes: []string{
+			"paper: each optimization (expert management, request arranging, request assigning) adds throughput",
+		},
+	}
+	tasks, err := ctx.tasks()
+	if err != nil {
+		return nil, err
+	}
+	for _, dev := range devices() {
+		for _, task := range tasks {
+			row := []string{dev.Mem.String(), task.Name}
+			for _, s := range ablationSystems() {
+				rep, err := ctx.run(dev, s.variant, task, s.best)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%.1f", rep.Throughput))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// Figure16 reproduces the ablation switch-count breakdown.
+func Figure16(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Ablation: expert switches per optimization (Figure 16)",
+		Columns: []string{"device", "task", "None", "EM", "EM+RA", "CoServe"},
+		Notes: []string{
+			"paper: switch reductions track the throughput gains of Figure 15",
+		},
+	}
+	tasks, err := ctx.tasks()
+	if err != nil {
+		return nil, err
+	}
+	for _, dev := range devices() {
+		for _, task := range tasks {
+			row := []string{dev.Mem.String(), task.Name}
+			for _, s := range ablationSystems() {
+				rep, err := ctx.run(dev, s.variant, task, s.best)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmt.Sprintf("%d", rep.Switches))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package hw
+
+import "testing"
+
+func TestBuiltinProfilesValidate(t *testing.T) {
+	for name, dev := range Devices() {
+		if err := dev.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTable1Capacities(t *testing.T) {
+	numa := NUMADevice()
+	if numa.GPUMemBytes != 12*GiB {
+		t.Errorf("NUMA GPU memory = %d, want 12 GiB", numa.GPUMemBytes)
+	}
+	if numa.CPUMemBytes != 16*GiB {
+		t.Errorf("NUMA CPU memory = %d, want 16 GiB", numa.CPUMemBytes)
+	}
+	uma := UMADevice()
+	if uma.UnifiedMemBytes != 24*GiB {
+		t.Errorf("UMA unified memory = %d, want 24 GiB", uma.UnifiedMemBytes)
+	}
+}
+
+func TestCapacityHelpers(t *testing.T) {
+	numa := NUMADevice()
+	if numa.GPUCapacity() != numa.GPUMemBytes || numa.CPUCapacity() != numa.CPUMemBytes {
+		t.Error("NUMA capacities should be the discrete memories")
+	}
+	uma := UMADevice()
+	if uma.GPUCapacity() != uma.UnifiedMemBytes || uma.CPUCapacity() != uma.UnifiedMemBytes {
+		t.Error("UMA capacities should both be the unified pool")
+	}
+}
+
+func TestProcSelector(t *testing.T) {
+	d := NUMADevice()
+	if d.Proc(GPU).Kind != GPU || d.Proc(CPU).Kind != CPU {
+		t.Error("Proc returned wrong processor kind")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"numa", "uma", "numa-rtx3080ti", "uma-apple-m2"} {
+		if _, err := ByName(alias); err != nil {
+			t.Errorf("ByName(%q): %v", alias, err)
+		}
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Error("ByName(tpu) should fail")
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := NUMADevice()
+	bad.PCIeBW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("missing PCIe bandwidth not caught")
+	}
+	bad2 := UMADevice()
+	bad2.UnifiedMemBytes = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("missing unified memory not caught")
+	}
+	bad3 := NUMADevice()
+	bad3.GPU.EffFLOPS = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("zero EffFLOPS not caught")
+	}
+	bad4 := NUMADevice()
+	bad4.SSDReadBW = 0
+	if err := bad4.Validate(); err == nil {
+		t.Error("zero SSD bandwidth not caught")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if NUMA.String() != "NUMA" || UMA.String() != "UMA" {
+		t.Error("MemArch strings wrong")
+	}
+	if GPU.String() != "GPU" || CPU.String() != "CPU" {
+		t.Error("ProcKind strings wrong")
+	}
+	if MemArch(9).String() == "" || ProcKind(9).String() == "" {
+		t.Error("unknown enum strings should not be empty")
+	}
+}

@@ -1,0 +1,109 @@
+// Package metrics collects the measurements the paper's evaluation
+// reports: throughput (images per second, the primary metric of §5.1),
+// expert switch counts (Figure 14), per-request latency, and the
+// real-wall-clock scheduling overhead of Figure 19.
+package metrics
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Recorder accumulates the metrics of one task run.
+type Recorder struct {
+	arrivals    int64
+	completions int64
+	stages      int64
+
+	firstArrival   sim.Time
+	lastCompletion sim.Time
+	haveArrival    bool
+
+	// latencies holds per-request end-to-end latency in seconds.
+	latencies []float64
+
+	// schedWall is real wall-clock time spent inside scheduling code;
+	// schedOps counts scheduling decisions. The simulation clock never
+	// advances during scheduling — the paper measures its cost on the
+	// real CPU (Figure 19) and so do we.
+	schedWall time.Duration
+	schedOps  int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Arrival records a request entering the system at virtual time t.
+func (r *Recorder) Arrival(t sim.Time) {
+	if !r.haveArrival || t < r.firstArrival {
+		r.firstArrival = t
+		r.haveArrival = true
+	}
+	r.arrivals++
+}
+
+// StageDone records the completion of one pipeline stage.
+func (r *Recorder) StageDone() { r.stages++ }
+
+// Completion records a request finishing its final stage at virtual time
+// t, having arrived at the given time.
+func (r *Recorder) Completion(arrival, t sim.Time) {
+	r.completions++
+	if t > r.lastCompletion {
+		r.lastCompletion = t
+	}
+	r.latencies = append(r.latencies, t.Sub(arrival).Seconds())
+}
+
+// SchedOp records one scheduling decision that took wall-clock duration d.
+func (r *Recorder) SchedOp(d time.Duration) {
+	r.schedWall += d
+	r.schedOps++
+}
+
+// Arrivals reports the number of requests that entered.
+func (r *Recorder) Arrivals() int64 { return r.arrivals }
+
+// Completions reports the number of requests that fully completed.
+func (r *Recorder) Completions() int64 { return r.completions }
+
+// Stages reports the number of completed pipeline stages.
+func (r *Recorder) Stages() int64 { return r.stages }
+
+// Makespan reports the virtual time from first arrival to last
+// completion.
+func (r *Recorder) Makespan() time.Duration {
+	if r.completions == 0 {
+		return 0
+	}
+	return r.lastCompletion.Sub(r.firstArrival)
+}
+
+// Throughput reports completed requests per second of virtual time —
+// the paper's primary performance metric.
+func (r *Recorder) Throughput() float64 {
+	mk := r.Makespan().Seconds()
+	if mk <= 0 {
+		return 0
+	}
+	return float64(r.completions) / mk
+}
+
+// Latencies returns per-request latencies in seconds. Callers must not
+// modify the returned slice.
+func (r *Recorder) Latencies() []float64 { return r.latencies }
+
+// SchedPerOp reports the mean wall-clock cost of one scheduling decision.
+func (r *Recorder) SchedPerOp() time.Duration {
+	if r.schedOps == 0 {
+		return 0
+	}
+	return r.schedWall / time.Duration(r.schedOps)
+}
+
+// SchedWall reports the total wall-clock time spent scheduling.
+func (r *Recorder) SchedWall() time.Duration { return r.schedWall }
+
+// SchedOps reports the number of scheduling decisions.
+func (r *Recorder) SchedOps() int64 { return r.schedOps }

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestThroughputAndMakespan(t *testing.T) {
+	r := NewRecorder()
+	r.Arrival(sim.Time(time.Second))
+	r.Arrival(sim.Time(2 * time.Second))
+	r.Completion(sim.Time(time.Second), sim.Time(3*time.Second))
+	r.Completion(sim.Time(2*time.Second), sim.Time(5*time.Second))
+	if r.Arrivals() != 2 || r.Completions() != 2 {
+		t.Fatalf("arrivals/completions = %d/%d", r.Arrivals(), r.Completions())
+	}
+	if r.Makespan() != 4*time.Second {
+		t.Errorf("makespan = %v, want 4s", r.Makespan())
+	}
+	if got := r.Throughput(); got != 0.5 {
+		t.Errorf("throughput = %v, want 0.5", got)
+	}
+	lats := r.Latencies()
+	if len(lats) != 2 || lats[0] != 2 || lats[1] != 3 {
+		t.Errorf("latencies = %v, want [2 3]", lats)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder()
+	if r.Throughput() != 0 || r.Makespan() != 0 || r.SchedPerOp() != 0 {
+		t.Error("empty recorder should report zeros")
+	}
+}
+
+func TestFirstArrivalTracksMinimum(t *testing.T) {
+	r := NewRecorder()
+	r.Arrival(sim.Time(5 * time.Second))
+	r.Arrival(sim.Time(2 * time.Second))
+	r.Completion(sim.Time(2*time.Second), sim.Time(6*time.Second))
+	if r.Makespan() != 4*time.Second {
+		t.Errorf("makespan = %v, want 4s (from earliest arrival)", r.Makespan())
+	}
+}
+
+func TestSchedOps(t *testing.T) {
+	r := NewRecorder()
+	r.SchedOp(2 * time.Microsecond)
+	r.SchedOp(4 * time.Microsecond)
+	if r.SchedOps() != 2 || r.SchedWall() != 6*time.Microsecond {
+		t.Errorf("ops/wall = %d/%v", r.SchedOps(), r.SchedWall())
+	}
+	if r.SchedPerOp() != 3*time.Microsecond {
+		t.Errorf("per-op = %v, want 3µs", r.SchedPerOp())
+	}
+}
+
+func TestStageCounter(t *testing.T) {
+	r := NewRecorder()
+	r.StageDone()
+	r.StageDone()
+	if r.Stages() != 2 {
+		t.Errorf("stages = %d, want 2", r.Stages())
+	}
+}

@@ -1,0 +1,150 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/hw"
+)
+
+func TestWeightBytesMatchPaperScale(t *testing.T) {
+	// 352 ResNet101 classification experts should land near the paper's
+	// "300+ experts ... 60 GB" (§1).
+	total := 352 * ResNet101.WeightBytes()
+	gb := float64(total) / 1e9
+	if gb < 55 || gb > 70 {
+		t.Errorf("352 ResNet101 experts = %.1f GB, want ~60 GB", gb)
+	}
+}
+
+func TestExecLatencyLinearRegion(t *testing.T) {
+	p := hw.NUMADevice().GPU
+	k := KCoeff(ResNet101, p)
+	for n := 1; n <= p.SatBatch; n++ {
+		want := k*time.Duration(n) + p.LaunchOverhead
+		if got := ExecLatency(ResNet101, p, n); got != want {
+			t.Fatalf("ExecLatency(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestExecLatencySaturationPenalty(t *testing.T) {
+	p := hw.NUMADevice().GPU
+	atSat := ExecLatency(ResNet101, p, p.SatBatch)
+	k := KCoeff(ResNet101, p)
+	beyond := ExecLatency(ResNet101, p, p.SatBatch+4)
+	linear := atSat + 4*k
+	if beyond <= linear {
+		t.Errorf("no saturation penalty: lat(%d) = %v <= linear %v", p.SatBatch+4, beyond, linear)
+	}
+}
+
+func TestAvgLatencyHasInteriorOptimumOnCPU(t *testing.T) {
+	// Figure 5 / §3.3: UMA CPU average latency is minimized at a small
+	// batch size and worsens beyond it.
+	p := hw.UMADevice().CPU
+	best, bestN := time.Duration(1<<62), 0
+	for n := 1; n <= 32; n++ {
+		if avg := AvgLatency(ResNet101, p, n); avg < best {
+			best, bestN = avg, n
+		}
+	}
+	if bestN < 3 || bestN > 10 {
+		t.Errorf("UMA CPU optimal batch = %d, want small interior optimum", bestN)
+	}
+	if AvgLatency(ResNet101, p, 32) <= best {
+		t.Error("average latency at batch 32 should exceed the optimum")
+	}
+}
+
+func TestAvgLatencyDecreasesInitially(t *testing.T) {
+	for _, proc := range []hw.Processor{hw.NUMADevice().GPU, hw.NUMADevice().CPU, hw.UMADevice().GPU} {
+		if AvgLatency(ResNet101, proc, 2) >= AvgLatency(ResNet101, proc, 1) {
+			t.Errorf("%s: batching 2 should beat batch 1", proc.Name)
+		}
+	}
+}
+
+func TestCPUSlowerThanGPU(t *testing.T) {
+	d := hw.NUMADevice()
+	for _, a := range []Architecture{ResNet101, YOLOv5m, YOLOv5l} {
+		if ExecLatency(a, d.CPU, 4) <= ExecLatency(a, d.GPU, 4) {
+			t.Errorf("%s: CPU should be slower than GPU", a.Name)
+		}
+	}
+}
+
+func TestActBytesLinearInBatch(t *testing.T) {
+	p := hw.NUMADevice().GPU
+	per := ActBytesPerImage(ResNet101, p)
+	if got := ActBytes(ResNet101, p, 7); got != 7*per {
+		t.Errorf("ActBytes(7) = %d, want %d", got, 7*per)
+	}
+	if ActBytes(ResNet101, p, 0) != 0 {
+		t.Error("ActBytes(0) should be 0")
+	}
+}
+
+func TestActBytesMatchesSection33Ratio(t *testing.T) {
+	// §3.3: increasing ResNet101's batch size by one consumes as much
+	// memory as loading ~1.5 experts on the NUMA GPU.
+	p := hw.NUMADevice().GPU
+	ratio := float64(ActBytesPerImage(ResNet101, p)) / float64(ResNet101.WeightBytes())
+	if ratio < 1.2 || ratio > 1.8 {
+		t.Errorf("activation/weight ratio = %.2f, want ~1.5", ratio)
+	}
+}
+
+func TestPerfPredictExec(t *testing.T) {
+	pf := Perf{K: 2 * time.Millisecond, B: 5 * time.Millisecond}
+	if got := pf.PredictExec(1); got != 7*time.Millisecond {
+		t.Errorf("PredictExec(1) = %v, want 7ms", got)
+	}
+	if got := pf.PredictExec(10); got != 25*time.Millisecond {
+		t.Errorf("PredictExec(10) = %v, want 25ms", got)
+	}
+	if pf.PredictExec(0) != 0 {
+		t.Error("PredictExec(0) should be 0")
+	}
+}
+
+func TestArchByName(t *testing.T) {
+	for _, name := range []string{"resnet101", "yolov5m", "yolov5l"} {
+		a, err := ArchByName(name)
+		if err != nil || a.Name != name {
+			t.Errorf("ArchByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := ArchByName("vgg"); err == nil {
+		t.Error("unknown architecture should fail")
+	}
+}
+
+func TestExecLatencyPanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for batch 0")
+		}
+	}()
+	ExecLatency(ResNet101, hw.NUMADevice().GPU, 0)
+}
+
+// Property: execution latency is strictly increasing in batch size for
+// every built-in architecture and processor.
+func TestExecLatencyMonotoneProperty(t *testing.T) {
+	procs := []hw.Processor{
+		hw.NUMADevice().GPU, hw.NUMADevice().CPU,
+		hw.UMADevice().GPU, hw.UMADevice().CPU,
+	}
+	prop := func(archIdx, procIdx uint8, rawBatch uint8) bool {
+		archs := []Architecture{ResNet101, YOLOv5m, YOLOv5l}
+		a := archs[int(archIdx)%len(archs)]
+		p := procs[int(procIdx)%len(procs)]
+		n := 1 + int(rawBatch%63)
+		return ExecLatency(a, p, n+1) > ExecLatency(a, p, n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// PerfMatrix is the offline profiler's output (§4.5): one Perf entry per
+// (architecture, processor kind). Experts sharing an architecture share
+// an entry, because their computational complexity is identical.
+type PerfMatrix map[string]Perf
+
+// perfKey builds the matrix key.
+func perfKey(arch string, kind hw.ProcKind) string {
+	return arch + "/" + kind.String()
+}
+
+// Put stores the entry for an architecture on a processor kind.
+func (pm PerfMatrix) Put(arch Architecture, kind hw.ProcKind, p Perf) {
+	pm[perfKey(arch.Name, kind)] = p
+}
+
+// Lookup returns the entry for an architecture name on a processor kind.
+func (pm PerfMatrix) Lookup(arch string, kind hw.ProcKind) (Perf, bool) {
+	p, ok := pm[perfKey(arch, kind)]
+	return p, ok
+}
+
+// MustLookup is Lookup that panics on a missing entry — used on paths
+// where system validation has already guaranteed coverage.
+func (pm PerfMatrix) MustLookup(arch string, kind hw.ProcKind) Perf {
+	p, ok := pm.Lookup(arch, kind)
+	if !ok {
+		panic(fmt.Sprintf("model: no perf entry for %s on %s", arch, kind))
+	}
+	return p
+}
+
+// Covers reports whether the matrix has entries for every architecture
+// in archs on both processor kinds.
+func (pm PerfMatrix) Covers(archs []Architecture) error {
+	for _, a := range archs {
+		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+			if _, ok := pm.Lookup(a.Name, kind); !ok {
+				return fmt.Errorf("model: perf matrix missing %s on %s", a.Name, kind)
+			}
+		}
+	}
+	return nil
+}

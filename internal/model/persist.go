@@ -1,0 +1,105 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/hw"
+)
+
+// The offline profiler runs once per device (§4.4); its performance
+// matrix is worth persisting so later serving sessions skip the
+// microbenchmarks. perfJSON is the stable wire form of one Perf entry.
+type perfJSON struct {
+	Arch        string        `json:"arch"`
+	Proc        string        `json:"proc"`
+	K           time.Duration `json:"k_ns"`
+	B           time.Duration `json:"b_ns"`
+	MaxBatch    int           `json:"max_batch"`
+	ActPerImage int64         `json:"act_per_image"`
+	LoadSSD     time.Duration `json:"load_ssd_ns"`
+	LoadHost    time.Duration `json:"load_host_ns"`
+}
+
+// WriteJSON persists the matrix. Only profiled quantities are stored;
+// the architecture definitions must be supplied again on load.
+func (pm PerfMatrix) WriteJSON(w io.Writer) error {
+	out := make([]perfJSON, 0, len(pm))
+	// Iterate deterministically: architectures x kinds.
+	for _, arch := range []Architecture{ResNet101, YOLOv5m, YOLOv5l} {
+		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+			if p, ok := pm.Lookup(arch.Name, kind); ok {
+				out = append(out, perfJSON{
+					Arch: arch.Name, Proc: kind.String(),
+					K: p.K, B: p.B, MaxBatch: p.MaxBatch,
+					ActPerImage: p.ActPerImage,
+					LoadSSD:     p.LoadSSD, LoadHost: p.LoadHost,
+				})
+			}
+		}
+	}
+	// Entries for custom architectures follow in map order; re-read via
+	// ReadPerfMatrix keys them by name, so order does not matter.
+	known := make(map[string]bool, len(out))
+	for _, e := range out {
+		known[e.Arch+"/"+e.Proc] = true
+	}
+	for key, p := range pm {
+		if known[key] {
+			continue
+		}
+		kind := hw.GPU
+		if p.Proc.Kind == hw.CPU {
+			kind = hw.CPU
+		}
+		out = append(out, perfJSON{
+			Arch: p.Arch.Name, Proc: kind.String(),
+			K: p.K, B: p.B, MaxBatch: p.MaxBatch,
+			ActPerImage: p.ActPerImage,
+			LoadSSD:     p.LoadSSD, LoadHost: p.LoadHost,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadPerfMatrix loads a persisted matrix. archs supplies the
+// architecture definitions referenced by name in the file.
+func ReadPerfMatrix(r io.Reader, archs []Architecture) (PerfMatrix, error) {
+	byName := make(map[string]Architecture, len(archs))
+	for _, a := range archs {
+		byName[a.Name] = a
+	}
+	var in []perfJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: decoding perf matrix: %w", err)
+	}
+	pm := make(PerfMatrix, len(in))
+	for _, e := range in {
+		arch, ok := byName[e.Arch]
+		if !ok {
+			return nil, fmt.Errorf("model: perf entry for unknown architecture %q", e.Arch)
+		}
+		var kind hw.ProcKind
+		switch e.Proc {
+		case "GPU":
+			kind = hw.GPU
+		case "CPU":
+			kind = hw.CPU
+		default:
+			return nil, fmt.Errorf("model: perf entry for unknown processor %q", e.Proc)
+		}
+		if e.MaxBatch < 1 || e.K < 0 || e.LoadSSD <= 0 {
+			return nil, fmt.Errorf("model: implausible perf entry for %s/%s", e.Arch, e.Proc)
+		}
+		pm.Put(arch, kind, Perf{
+			Arch: arch, K: e.K, B: e.B, MaxBatch: e.MaxBatch,
+			ActPerImage: e.ActPerImage,
+			LoadSSD:     e.LoadSSD, LoadHost: e.LoadHost,
+		})
+	}
+	return pm, nil
+}

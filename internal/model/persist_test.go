@@ -1,0 +1,95 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+)
+
+func samplePerfMatrix() PerfMatrix {
+	pm := make(PerfMatrix)
+	for _, arch := range []Architecture{ResNet101, YOLOv5m} {
+		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+			pm.Put(arch, kind, Perf{
+				Arch: arch, Proc: hw.NUMADevice().Proc(kind),
+				K: 2 * time.Millisecond, B: 5 * time.Millisecond,
+				MaxBatch: 12, ActPerImage: 100 << 20,
+				LoadSSD: time.Second, LoadHost: 300 * time.Millisecond,
+			})
+		}
+	}
+	return pm
+}
+
+func TestPerfMatrixRoundTrip(t *testing.T) {
+	pm := samplePerfMatrix()
+	var buf bytes.Buffer
+	if err := pm.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfMatrix(&buf, []Architecture{ResNet101, YOLOv5m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pm) {
+		t.Fatalf("entries = %d, want %d", len(got), len(pm))
+	}
+	for _, arch := range []Architecture{ResNet101, YOLOv5m} {
+		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+			want := pm.MustLookup(arch.Name, kind)
+			have := got.MustLookup(arch.Name, kind)
+			if have.K != want.K || have.B != want.B || have.MaxBatch != want.MaxBatch ||
+				have.ActPerImage != want.ActPerImage || have.LoadSSD != want.LoadSSD ||
+				have.LoadHost != want.LoadHost {
+				t.Errorf("%s/%s: roundtrip mismatch: %+v vs %+v", arch.Name, kind, have, want)
+			}
+		}
+	}
+}
+
+func TestReadPerfMatrixRejectsBadInput(t *testing.T) {
+	if _, err := ReadPerfMatrix(strings.NewReader("not json"), nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Unknown architecture name.
+	pm := samplePerfMatrix()
+	var buf bytes.Buffer
+	if err := pm.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPerfMatrix(bytes.NewReader(buf.Bytes()), []Architecture{YOLOv5l}); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	// Implausible entries.
+	bad := `[{"arch":"resnet101","proc":"GPU","k_ns":1,"b_ns":1,"max_batch":0,"act_per_image":1,"load_ssd_ns":1,"load_host_ns":1}]`
+	if _, err := ReadPerfMatrix(strings.NewReader(bad), []Architecture{ResNet101}); err == nil {
+		t.Error("zero max batch accepted")
+	}
+	badProc := `[{"arch":"resnet101","proc":"TPU","k_ns":1,"b_ns":1,"max_batch":4,"act_per_image":1,"load_ssd_ns":1,"load_host_ns":1}]`
+	if _, err := ReadPerfMatrix(strings.NewReader(badProc), []Architecture{ResNet101}); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}
+
+func TestPersistedMatrixDrivesProfiledWorkflow(t *testing.T) {
+	// Simulates the intended workflow: profile once, persist, reload,
+	// and verify coverage for the evaluation architectures.
+	pm := samplePerfMatrix()
+	var buf bytes.Buffer
+	if err := pm.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPerfMatrix(&buf, []Architecture{ResNet101, YOLOv5m, YOLOv5l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Covers([]Architecture{ResNet101, YOLOv5m}); err != nil {
+		t.Errorf("reloaded matrix lost coverage: %v", err)
+	}
+	if err := got.Covers([]Architecture{YOLOv5l}); err == nil {
+		t.Error("coverage check passed for unprofiled architecture")
+	}
+}

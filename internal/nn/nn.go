@@ -1,0 +1,361 @@
+// Package nn is a small, dependency-free neural-network engine: dense
+// feed-forward networks with deterministic initialization, forward
+// inference, and gradient-descent training.
+//
+// The serving system proper schedules experts through calibrated cost
+// models (internal/model) — it never needs real tensors. This package
+// exists so the runnable examples can put genuine model computation
+// behind the CoE expert abstraction: the llmrouter example trains and
+// serves real (tiny) domain experts through the same public API.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix of float32 values. A vector is a
+// 1×n tensor.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(rows, cols int) *Tensor {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("nn: invalid tensor shape %dx%d", rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols tensor, copying it.
+func FromSlice(rows, cols int, data []float32) (*Tensor, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("nn: %d values cannot fill %dx%d", len(data), rows, cols)
+	}
+	t := NewTensor(rows, cols)
+	copy(t.Data, data)
+	return t, nil
+}
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float32 { return t.Data[r*t.Cols+c] }
+
+// Set assigns element (r, c).
+func (t *Tensor) Set(r, c int, v float32) { t.Data[r*t.Cols+c] = v }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := NewTensor(t.Rows, t.Cols)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// MatMul computes a @ b.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("nn: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := NewTensor(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Layer is one differentiable network stage.
+type Layer interface {
+	// Forward maps the input batch to the output batch, caching what
+	// Backward needs.
+	Forward(x *Tensor) (*Tensor, error)
+	// Backward maps the output gradient to the input gradient and
+	// accumulates parameter gradients.
+	Backward(grad *Tensor) (*Tensor, error)
+	// Step applies and clears accumulated gradients with learning rate lr.
+	Step(lr float32)
+	// Params reports the parameter count.
+	Params() int64
+}
+
+// Dense is a fully connected layer: y = x@W + b.
+type Dense struct {
+	W, B   *Tensor
+	gradW  *Tensor
+	gradB  *Tensor
+	lastIn *Tensor
+}
+
+// NewDense builds a Dense layer with deterministic Xavier-style
+// initialization from the seed.
+func NewDense(in, out int, seed int64) *Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dense{
+		W:     NewTensor(in, out),
+		B:     NewTensor(1, out),
+		gradW: NewTensor(in, out),
+		gradB: NewTensor(1, out),
+	}
+	scale := float32(math.Sqrt(2.0 / float64(in+out)))
+	for i := range d.W.Data {
+		d.W.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor) (*Tensor, error) {
+	d.lastIn = x
+	y, err := MatMul(x, d.W)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < y.Rows; i++ {
+		for j := 0; j < y.Cols; j++ {
+			y.Data[i*y.Cols+j] += d.B.Data[j]
+		}
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) (*Tensor, error) {
+	if d.lastIn == nil {
+		return nil, errors.New("nn: Backward before Forward")
+	}
+	// gradW += lastIn^T @ grad; gradB += col sums; gradIn = grad @ W^T.
+	for i := 0; i < d.lastIn.Cols; i++ {
+		for j := 0; j < grad.Cols; j++ {
+			var sum float32
+			for r := 0; r < grad.Rows; r++ {
+				sum += d.lastIn.At(r, i) * grad.At(r, j)
+			}
+			d.gradW.Data[i*d.gradW.Cols+j] += sum
+		}
+	}
+	for j := 0; j < grad.Cols; j++ {
+		var sum float32
+		for r := 0; r < grad.Rows; r++ {
+			sum += grad.At(r, j)
+		}
+		d.gradB.Data[j] += sum
+	}
+	gradIn := NewTensor(grad.Rows, d.W.Rows)
+	for r := 0; r < grad.Rows; r++ {
+		for i := 0; i < d.W.Rows; i++ {
+			var sum float32
+			for j := 0; j < d.W.Cols; j++ {
+				sum += grad.At(r, j) * d.W.At(i, j)
+			}
+			gradIn.Set(r, i, sum)
+		}
+	}
+	return gradIn, nil
+}
+
+// Step implements Layer.
+func (d *Dense) Step(lr float32) {
+	for i := range d.W.Data {
+		d.W.Data[i] -= lr * d.gradW.Data[i]
+		d.gradW.Data[i] = 0
+	}
+	for i := range d.B.Data {
+		d.B.Data[i] -= lr * d.gradB.Data[i]
+		d.gradB.Data[i] = 0
+	}
+}
+
+// Params implements Layer.
+func (d *Dense) Params() int64 { return int64(len(d.W.Data) + len(d.B.Data)) }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) (*Tensor, error) {
+	out := x.Clone()
+	r.mask = make([]bool, len(out.Data))
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) (*Tensor, error) {
+	if r.mask == nil {
+		return nil, errors.New("nn: Backward before Forward")
+	}
+	if len(grad.Data) != len(r.mask) {
+		return nil, errors.New("nn: ReLU gradient shape mismatch")
+	}
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Step implements Layer.
+func (r *ReLU) Step(float32) {}
+
+// Params implements Layer.
+func (r *ReLU) Params() int64 { return 0 }
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// NewMLP builds Dense+ReLU stacks from the layer widths, ending with a
+// linear output layer (softmax is applied by the loss / Predict).
+func NewMLP(name string, seed int64, widths ...int) (*Network, error) {
+	if len(widths) < 2 {
+		return nil, errors.New("nn: an MLP needs at least input and output widths")
+	}
+	n := &Network{Name: name}
+	for i := 0; i+1 < len(widths); i++ {
+		n.Layers = append(n.Layers, NewDense(widths[i], widths[i+1], seed+int64(i)))
+		if i+2 < len(widths) {
+			n.Layers = append(n.Layers, &ReLU{})
+		}
+	}
+	return n, nil
+}
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(x *Tensor) (*Tensor, error) {
+	var err error
+	for _, l := range n.Layers {
+		x, err = l.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return x, nil
+}
+
+// Params reports the total parameter count.
+func (n *Network) Params() int64 {
+	var sum int64
+	for _, l := range n.Layers {
+		sum += l.Params()
+	}
+	return sum
+}
+
+// Softmax converts logits to row-wise probabilities.
+func Softmax(logits *Tensor) *Tensor {
+	out := logits.Clone()
+	for r := 0; r < out.Rows; r++ {
+		row := out.Data[r*out.Cols : (r+1)*out.Cols]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float32
+		for i, v := range row {
+			e := float32(math.Exp(float64(v - maxV)))
+			row[i] = e
+			sum += e
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	return out
+}
+
+// Predict returns the argmax class of each row.
+func (n *Network) Predict(x *Tensor) ([]int, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, logits.Rows)
+	for r := 0; r < logits.Rows; r++ {
+		best, bestV := 0, logits.At(r, 0)
+		for c := 1; c < logits.Cols; c++ {
+			if v := logits.At(r, c); v > bestV {
+				best, bestV = c, v
+			}
+		}
+		out[r] = best
+	}
+	return out, nil
+}
+
+// TrainStep runs one cross-entropy gradient step on a labelled batch and
+// returns the batch loss.
+func (n *Network) TrainStep(x *Tensor, labels []int, lr float32) (float64, error) {
+	if len(labels) != x.Rows {
+		return 0, fmt.Errorf("nn: %d labels for %d rows", len(labels), x.Rows)
+	}
+	logits, err := n.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	probs := Softmax(logits)
+	var loss float64
+	grad := probs.Clone()
+	for r, label := range labels {
+		if label < 0 || label >= probs.Cols {
+			return 0, fmt.Errorf("nn: label %d out of range", label)
+		}
+		p := float64(probs.At(r, label))
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Data[r*grad.Cols+label] -= 1
+	}
+	scale := 1 / float32(x.Rows)
+	for i := range grad.Data {
+		grad.Data[i] *= scale
+	}
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad, err = n.Layers[i].Backward(grad)
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, l := range n.Layers {
+		l.Step(lr)
+	}
+	return loss / float64(x.Rows), nil
+}
+
+// Accuracy scores predictions against labels.
+func Accuracy(preds, labels []int) float64 {
+	if len(preds) == 0 || len(preds) != len(labels) {
+		return 0
+	}
+	hits := 0
+	for i := range preds {
+		if preds[i] == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(preds))
+}

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTensorBasics(t *testing.T) {
+	x := NewTensor(2, 3)
+	x.Set(1, 2, 5)
+	if x.At(1, 2) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	c := x.Clone()
+	c.Set(0, 0, 9)
+	if x.At(0, 0) == 9 {
+		t.Error("Clone aliases data")
+	}
+	if _, err := FromSlice(2, 2, []float32{1, 2, 3}); err == nil {
+		t.Error("FromSlice accepted wrong length")
+	}
+}
+
+func TestTensorShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero-dimension tensor")
+		}
+	}()
+	NewTensor(0, 3)
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b, _ := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Errorf("matmul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestDenseForwardLinear(t *testing.T) {
+	d := NewDense(2, 1, 1)
+	d.W.Data = []float32{2, 3}
+	d.B.Data = []float32{1}
+	x, _ := FromSlice(1, 2, []float32{4, 5})
+	y, err := d.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.At(0, 0) != 2*4+3*5+1 {
+		t.Errorf("dense forward = %v, want 24", y.At(0, 0))
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	x, _ := FromSlice(1, 4, []float32{-1, 0, 2, -3})
+	y, _ := r.Forward(x)
+	want := []float32{0, 0, 2, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Errorf("relu[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+	g, _ := FromSlice(1, 4, []float32{5, 5, 5, 5})
+	gi, err := r.Backward(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantG := []float32{0, 5, 5, 0} // gradient passes where input >= 0
+	for i := range wantG {
+		if gi.Data[i] != wantG[i] {
+			t.Errorf("relu grad[%d] = %v, want %v", i, gi.Data[i], wantG[i])
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	x, _ := FromSlice(2, 3, []float32{1, 2, 3, -5, 0, 5})
+	p := Softmax(x)
+	for r := 0; r < 2; r++ {
+		var sum float64
+		for c := 0; c < 3; c++ {
+			v := float64(p.At(r, c))
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("row %d sums to %v", r, sum)
+		}
+	}
+}
+
+// Property: softmax is invariant to a constant shift of the logits.
+func TestSoftmaxShiftInvariantProperty(t *testing.T) {
+	prop := func(a, b, c int8, shift int8) bool {
+		x, _ := FromSlice(1, 3, []float32{float32(a), float32(b), float32(c)})
+		y, _ := FromSlice(1, 3, []float32{
+			float32(a) + float32(shift), float32(b) + float32(shift), float32(c) + float32(shift),
+		})
+		px, py := Softmax(x), Softmax(y)
+		for i := range px.Data {
+			if math.Abs(float64(px.Data[i]-py.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMLPConstruction(t *testing.T) {
+	n, err := NewMLP("m", 1, 4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense(4->8), ReLU, Dense(8->3).
+	if len(n.Layers) != 3 {
+		t.Fatalf("layers = %d, want 3", len(n.Layers))
+	}
+	if n.Params() != (4*8+8)+(8*3+3) {
+		t.Errorf("params = %d", n.Params())
+	}
+	if _, err := NewMLP("bad", 1, 4); err == nil {
+		t.Error("single-width MLP accepted")
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a, _ := NewMLP("a", 42, 4, 8, 2)
+	b, _ := NewMLP("b", 42, 4, 8, 2)
+	da, db := a.Layers[0].(*Dense), b.Layers[0].(*Dense)
+	for i := range da.W.Data {
+		if da.W.Data[i] != db.W.Data[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+// TestTrainingLearnsBlobs trains a small classifier on two separable
+// Gaussian blobs and expects near-perfect accuracy.
+func TestTrainingLearnsBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 200
+	x := NewTensor(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		cx := float32(-1.5)
+		if cls == 1 {
+			cx = 1.5
+		}
+		x.Set(i, 0, cx+float32(rng.NormFloat64())*0.4)
+		x.Set(i, 1, float32(rng.NormFloat64())*0.4)
+		labels[i] = cls
+	}
+	net, err := NewMLP("blobs", 7, 2, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loss float64
+	for epoch := 0; epoch < 200; epoch++ {
+		loss, err = net.TrainStep(x, labels, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds, err := net.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(preds, labels); acc < 0.97 {
+		t.Errorf("accuracy = %.3f (loss %.4f), want >= 0.97", acc, loss)
+	}
+}
+
+func TestTrainStepValidation(t *testing.T) {
+	net, _ := NewMLP("v", 1, 2, 2)
+	x := NewTensor(2, 2)
+	if _, err := net.TrainStep(x, []int{0}, 0.1); err == nil {
+		t.Error("label-count mismatch accepted")
+	}
+	if _, err := net.TrainStep(x, []int{0, 99}, 0.1); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestBackwardBeforeForwardErrors(t *testing.T) {
+	d := NewDense(2, 2, 1)
+	if _, err := d.Backward(NewTensor(1, 2)); err == nil {
+		t.Error("Dense.Backward before Forward accepted")
+	}
+	r := &ReLU{}
+	if _, err := r.Backward(NewTensor(1, 2)); err == nil {
+		t.Error("ReLU.Backward before Forward accepted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy([]int{1, 2, 3}, []int{1, 0, 3}) != 2.0/3.0 {
+		t.Error("accuracy wrong")
+	}
+	if Accuracy(nil, nil) != 0 || Accuracy([]int{1}, []int{1, 2}) != 0 {
+		t.Error("degenerate accuracy should be 0")
+	}
+}

@@ -1,0 +1,158 @@
+package pool
+
+import (
+	"sort"
+
+	"repro/internal/coe"
+)
+
+// Policy selects eviction victims when a pool must free memory.
+// Implementations receive the pool and the number of bytes that must be
+// freed, and return loaded, unpinned experts whose combined size covers
+// the need (or every candidate, if the need cannot be covered — the
+// caller detects the shortfall).
+type Policy interface {
+	Name() string
+	Victims(p *Pool, need int64) []coe.ExpertID
+}
+
+// takeUntil collects entries in order until their sizes cover need.
+func takeUntil(entries []*Entry, need int64) []coe.ExpertID {
+	var out []coe.ExpertID
+	var freed int64
+	for _, e := range entries {
+		if freed >= need {
+			break
+		}
+		out = append(out, e.Expert.ID)
+		freed += e.Bytes
+	}
+	return out
+}
+
+// LRU evicts the least recently used experts first — Samba-CoE's
+// strategy (§2.2). Ties break on load order, then expert ID, keeping
+// runs deterministic.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "lru" }
+
+// Victims implements Policy.
+func (LRU) Victims(p *Pool, need int64) []coe.ExpertID {
+	entries := p.LoadedUnpinned()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].LastUse != entries[j].LastUse {
+			return entries[i].LastUse < entries[j].LastUse
+		}
+		return entries[i].LoadSeq < entries[j].LoadSeq
+	})
+	return takeUntil(entries, need)
+}
+
+// FIFO evicts the earliest loaded experts first — the Samba-CoE FIFO
+// baseline (§5.1).
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Victims implements Policy.
+func (FIFO) Victims(p *Pool, need int64) []coe.ExpertID {
+	entries := p.LoadedUnpinned()
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].LoadSeq < entries[j].LoadSeq
+	})
+	return takeUntil(entries, need)
+}
+
+// DepAware is CoServe's two-stage dependency-aware eviction (§4.3):
+//
+// Stage 1 evicts subsequent experts none of whose preliminary experts
+// are resident in this pool — they cannot run until a preliminary expert
+// is switched in, so they only waste memory. Candidates are taken in
+// descending memory footprint, minimizing the number of evictions.
+//
+// Stage 2, if stage 1 freed too little, evicts remaining experts in
+// ascending pre-assessed usage probability, keeping the experts most
+// likely to be needed (Figure 10).
+type DepAware struct{}
+
+// Name implements Policy.
+func (DepAware) Name() string { return "dep-aware" }
+
+// Victims implements Policy.
+func (DepAware) Victims(p *Pool, need int64) []coe.ExpertID {
+	entries := p.LoadedUnpinned()
+	var orphans, rest []*Entry
+	for _, e := range entries {
+		if orphaned(p, e.Expert) {
+			orphans = append(orphans, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	sort.SliceStable(orphans, func(i, j int) bool {
+		return orphans[i].Bytes > orphans[j].Bytes
+	})
+	out := takeUntil(orphans, need)
+	var freed int64
+	for _, id := range out {
+		freed += p.entries[id].Bytes
+	}
+	if freed >= need {
+		return out
+	}
+	sort.SliceStable(rest, func(i, j int) bool {
+		return rest[i].Expert.UsageProb < rest[j].Expert.UsageProb
+	})
+	return append(out, takeUntil(rest, need-freed)...)
+}
+
+// orphaned reports whether the expert is a subsequent expert with none
+// of its preliminary experts resident in the pool.
+func orphaned(p *Pool, e *coe.Expert) bool {
+	if e.Role != coe.Subsequent {
+		return false
+	}
+	for _, dep := range e.DependsOn {
+		if p.IsLoaded(dep) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProbOnly evicts purely by ascending usage probability — DepAware with
+// stage 1 removed. It exists for the design-choice ablation: comparing
+// it against DepAware isolates the contribution of evicting orphaned
+// subsequent experts first.
+type ProbOnly struct{}
+
+// Name implements Policy.
+func (ProbOnly) Name() string { return "prob-only" }
+
+// Victims implements Policy.
+func (ProbOnly) Victims(p *Pool, need int64) []coe.ExpertID {
+	entries := p.LoadedUnpinned()
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Expert.UsageProb < entries[j].Expert.UsageProb
+	})
+	return takeUntil(entries, need)
+}
+
+// PolicyByName returns a policy implementation by its Name.
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "lru":
+		return LRU{}, true
+	case "fifo":
+		return FIFO{}, true
+	case "dep-aware":
+		return DepAware{}, true
+	case "prob-only":
+		return ProbOnly{}, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/sim"
+)
+
+// Assigner picks the executor queue a new request joins.
+type Assigner interface {
+	Name() string
+	Pick(now sim.Time, qs []*Queue, e *coe.Expert) int
+}
+
+// Single always assigns to queue 0 — the Samba-CoE single-executor FCFS
+// arrangement.
+type Single struct{}
+
+// Name implements Assigner.
+func (Single) Name() string { return "single" }
+
+// Pick implements Assigner.
+func (Single) Pick(now sim.Time, qs []*Queue, e *coe.Expert) int { return 0 }
+
+// RoundRobin distributes requests evenly across queues in arrival order
+// — Samba-CoE Parallel's strategy (§5.1).
+type RoundRobin struct{ next int }
+
+// Name implements Assigner.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Assigner.
+func (rr *RoundRobin) Pick(now sim.Time, qs []*Queue, e *coe.Expert) int {
+	i := rr.next % len(qs)
+	rr.next++
+	return i
+}
+
+// ByExpert statically partitions experts across queues (expert ID modulo
+// queue count) — the "distributing requests evenly across executors"
+// baseline of the §5.3 ablation, which spreads load without any
+// knowledge of queue state. Requests for one expert always land on the
+// same executor, the natural arrangement for per-executor model pools.
+type ByExpert struct{}
+
+// Name implements Assigner.
+func (ByExpert) Name() string { return "by-expert" }
+
+// Pick implements Assigner.
+func (ByExpert) Pick(now sim.Time, qs []*Queue, e *coe.Expert) int {
+	return int(e.ID) % len(qs)
+}
+
+// MinMax is CoServe's dependency-aware request assigning (§4.2,
+// Figure 8): choose the queue that minimizes the total inference time —
+// the maximum finish time across all executor queues — and break ties by
+// the smallest additional latency for the new request, preserving
+// assignment capacity for future requests. Remaining ties go to the
+// lowest queue index, keeping runs deterministic.
+type MinMax struct{}
+
+// Name implements Assigner.
+func (MinMax) Name() string { return "min-max" }
+
+// Pick implements Assigner.
+func (MinMax) Pick(now sim.Time, qs []*Queue, e *coe.Expert) int {
+	finishes := make([]sim.Time, len(qs))
+	for i, q := range qs {
+		finishes[i] = q.FinishTime(now)
+	}
+	best := -1
+	var bestTotal sim.Time
+	var bestAdd time.Duration
+	for i, q := range qs {
+		add := q.Predict(e)
+		newFinish := finishes[i].Add(add)
+		total := newFinish
+		for j := range qs {
+			if j != i && finishes[j] > total {
+				total = finishes[j]
+			}
+		}
+		if best < 0 || total < bestTotal || (total == bestTotal && add < bestAdd) {
+			best, bestTotal, bestAdd = i, total, add
+		}
+	}
+	return best
+}
+
+// Replay reissues a recorded assignment sequence — the pre-scheduled
+// control of the paper's overhead analysis (Figure 19), which executes
+// the same request order with zero online scheduling work.
+type Replay struct {
+	picks []int
+	next  int
+}
+
+// NewReplay returns an assigner that replays picks in order.
+func NewReplay(picks []int) *Replay { return &Replay{picks: picks} }
+
+// Name implements Assigner.
+func (*Replay) Name() string { return "replay" }
+
+// Pick implements Assigner.
+func (r *Replay) Pick(now sim.Time, qs []*Queue, e *coe.Expert) int {
+	if r.next >= len(r.picks) {
+		panic("sched: replay exhausted")
+	}
+	i := r.picks[r.next]
+	r.next++
+	return i
+}

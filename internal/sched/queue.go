@@ -1,0 +1,281 @@
+// Package sched implements CoServe's dependency-aware request scheduling
+// (§4.2): per-executor request queues that group requests sharing an
+// expert, prediction of the additional inference latency a request adds
+// to a queue, assignment policies (round-robin and Samba-style FCFS
+// baselines, and CoServe's minimize-max-finish-time assigner), and the
+// batch-splitting bound.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/sim"
+)
+
+// Mode selects how a queue arranges incoming requests.
+type Mode int
+
+const (
+	// ModeFIFO appends requests in arrival order; only requests that
+	// happen to arrive back-to-back for the same expert batch together
+	// (Samba-CoE behavior, Figure 3).
+	ModeFIFO Mode = iota
+	// ModeGrouped arranges each request behind the last queued request
+	// using the same expert (§4.2 "request arranging", Figure 9).
+	ModeGrouped
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeFIFO:
+		return "fifo"
+	case ModeGrouped:
+		return "grouped"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Costs supplies the profiled quantities predictions need: the linear
+// execution coefficients of the queue's processor, the predicted expert
+// switch latency, and pool residency.
+type Costs struct {
+	// K and B return the §4.2 execution-latency coefficients for the
+	// expert's architecture on this queue's processor.
+	K func(e *coe.Expert) time.Duration
+	B func(e *coe.Expert) time.Duration
+	// PredictLoad returns the expected switch latency if the expert had
+	// to be loaded now (0 is never returned here; residency is the
+	// IsLoaded short-circuit).
+	PredictLoad func(e *coe.Expert) time.Duration
+	// IsLoaded reports residency in this queue's executor pool.
+	IsLoaded func(id coe.ExpertID) bool
+}
+
+// Group is a run of queued requests that use the same expert. Once an
+// executor starts draining a group it is marked started; later arrivals
+// for the same expert form a fresh group right behind it.
+type Group struct {
+	Expert  *coe.Expert
+	items   []*coe.Request
+	base    time.Duration // predicted one-time cost: B + switch
+	perItem time.Duration // predicted per-request cost: K
+	started bool
+}
+
+// Len reports the number of requests still in the group.
+func (g *Group) Len() int { return len(g.items) }
+
+// Started reports whether an executor has begun draining the group.
+func (g *Group) Started() bool { return g.started }
+
+// PredictedRemaining reports the predicted time to finish the group's
+// remaining items, including the one-time cost if not started.
+func (g *Group) PredictedRemaining() time.Duration {
+	d := g.perItem * time.Duration(len(g.items))
+	if !g.started {
+		d += g.base
+	}
+	return d
+}
+
+// Queue is one executor's request queue.
+type Queue struct {
+	name  string
+	mode  Mode
+	costs Costs
+	gate  *sim.Gate
+
+	groups  []*Group
+	items   int
+	pending time.Duration // predicted cost of all unstarted groups
+
+	busyUntil sim.Time
+}
+
+// NewQueue returns an empty queue.
+func NewQueue(env *sim.Env, name string, mode Mode, costs Costs) *Queue {
+	if costs.K == nil || costs.B == nil || costs.PredictLoad == nil || costs.IsLoaded == nil {
+		panic("sched: queue costs incomplete")
+	}
+	return &Queue{name: name, mode: mode, costs: costs, gate: sim.NewGate(env)}
+}
+
+// Name reports the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Mode reports the queue's arranging mode.
+func (q *Queue) Mode() Mode { return q.mode }
+
+// Gate returns the gate the owning executor sleeps on; Enqueue notifies
+// it.
+func (q *Queue) Gate() *sim.Gate { return q.gate }
+
+// Len reports the number of queued requests.
+func (q *Queue) Len() int { return q.items }
+
+// Empty reports whether no requests are queued.
+func (q *Queue) Empty() bool { return q.items == 0 }
+
+// Groups reports the number of queued groups.
+func (q *Queue) Groups() int { return len(q.groups) }
+
+// Pending reports the predicted time to drain all unstarted groups.
+func (q *Queue) Pending() time.Duration { return q.pending }
+
+// SetBusyUntil records the executor's predicted completion time of
+// in-flight work (the started head group).
+func (q *Queue) SetBusyUntil(t sim.Time) { q.busyUntil = t }
+
+// FinishTime predicts when the queue's executor goes idle: in-flight
+// work plus all unstarted groups (the queue "length" of Figure 8).
+func (q *Queue) FinishTime(now sim.Time) sim.Time {
+	base := now
+	if q.busyUntil > base {
+		base = q.busyUntil
+	}
+	return base.Add(q.pending)
+}
+
+// mergeTarget finds the group a new request for expert e would join, or
+// -1 if it needs a fresh group. Only unstarted groups accept merges.
+func (q *Queue) mergeTarget(e coe.ExpertID) int {
+	switch q.mode {
+	case ModeGrouped:
+		for i := len(q.groups) - 1; i >= 0; i-- {
+			if q.groups[i].Expert.ID == e {
+				if q.groups[i].started {
+					return -1
+				}
+				return i
+			}
+		}
+	case ModeFIFO:
+		if n := len(q.groups); n > 0 {
+			tail := q.groups[n-1]
+			if tail.Expert.ID == e && !tail.started {
+				return n - 1
+			}
+		}
+	}
+	return -1
+}
+
+// hasExpert reports whether any group (started or not) uses the expert.
+func (q *Queue) hasExpert(e coe.ExpertID) bool {
+	for _, g := range q.groups {
+		if g.Expert.ID == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Predict computes the additional inference latency the request would
+// add to this queue (§4.2): K when it joins an existing group of the
+// same expert; K + B for a fresh group; plus the expert switching
+// latency, which is zero when the expert is resident or the queue
+// already contains requests for it, and the predicted load latency
+// otherwise.
+func (q *Queue) Predict(e *coe.Expert) time.Duration {
+	cost := q.costs.K(e)
+	if q.mergeTarget(e.ID) >= 0 {
+		return cost
+	}
+	cost += q.costs.B(e)
+	if !q.costs.IsLoaded(e.ID) && !q.hasExpert(e.ID) {
+		cost += q.costs.PredictLoad(e)
+	}
+	return cost
+}
+
+// Enqueue adds the request, arranging per the queue mode, updates the
+// pending prediction, and wakes the executor.
+func (q *Queue) Enqueue(e *coe.Expert, r *coe.Request) {
+	k := q.costs.K(e)
+	if i := q.mergeTarget(e.ID); i >= 0 {
+		q.groups[i].items = append(q.groups[i].items, r)
+		q.pending += k
+	} else {
+		g := &Group{Expert: e, perItem: k, base: q.costs.B(e)}
+		if !q.costs.IsLoaded(e.ID) && !q.hasExpert(e.ID) {
+			g.base += q.costs.PredictLoad(e)
+		}
+		g.items = append(g.items, r)
+		q.insertGroup(g)
+		q.pending += g.base + k
+	}
+	q.items++
+	q.gate.Notify()
+}
+
+// insertGroup places a fresh group: normally at the tail, but a group
+// whose expert matches the started head group slots in right behind it,
+// so the already-loaded expert keeps serving ("arranged to follow
+// existing requests utilizing the same expert").
+func (q *Queue) insertGroup(g *Group) {
+	if len(q.groups) > 0 && q.groups[0].started && q.groups[0].Expert.ID == g.Expert.ID {
+		q.groups = append(q.groups, nil)
+		copy(q.groups[2:], q.groups[1:])
+		q.groups[1] = g
+		return
+	}
+	q.groups = append(q.groups, g)
+}
+
+// Head returns the head group without removing it, or nil when empty.
+func (q *Queue) Head() *Group {
+	if len(q.groups) == 0 {
+		return nil
+	}
+	return q.groups[0]
+}
+
+// TakeFromHead marks the head group started (removing its prediction
+// from pending — the executor now accounts for it via SetBusyUntil) and
+// removes up to n of its requests, dropping the group once drained.
+func (q *Queue) TakeFromHead(n int) []*coe.Request {
+	if len(q.groups) == 0 || n < 1 {
+		return nil
+	}
+	g := q.groups[0]
+	if !g.started {
+		g.started = true
+		q.pending -= g.base + g.perItem*time.Duration(len(g.items))
+	}
+	if n > len(g.items) {
+		n = len(g.items)
+	}
+	batch := g.items[:n:n]
+	g.items = g.items[n:]
+	q.items -= n
+	if len(g.items) == 0 {
+		copy(q.groups, q.groups[1:])
+		q.groups[len(q.groups)-1] = nil
+		q.groups = q.groups[:len(q.groups)-1]
+	}
+	return batch
+}
+
+// SplitBound computes the current maximum executable batch size (§4.2
+// "request splitting"): the smaller of the profiled maximum batch size
+// and the largest batch the free activation memory accommodates, never
+// below 1 (the executor blocks on memory for a single image if needed).
+func SplitBound(profiledMax int, freeBytes, perImageBytes int64) int {
+	if profiledMax < 1 {
+		profiledMax = 1
+	}
+	if perImageBytes <= 0 {
+		return profiledMax
+	}
+	memMax := int(freeBytes / perImageBytes)
+	if memMax < 1 {
+		memMax = 1
+	}
+	if memMax < profiledMax {
+		return memMax
+	}
+	return profiledMax
+}

@@ -1,0 +1,101 @@
+package sim
+
+import "time"
+
+// Resource models a unit of physical capacity — a GPU compute engine, a
+// PCIe bus, an SSD controller — that at most cap processes may hold
+// simultaneously. Contending processes queue in FIFO order, which keeps
+// simulations deterministic.
+type Resource struct {
+	env     *Env
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Proc
+
+	// accounting
+	busy      time.Duration // cumulative held time x units
+	lastTouch Time
+	acquired  map[*Proc]Time
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{
+		env:      env,
+		name:     name,
+		cap:      capacity,
+		acquired: make(map[*Proc]Time),
+	}
+}
+
+// Name reports the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Cap reports the resource capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire blocks p until a unit is free, then takes it. A process must
+// not acquire the same resource twice without releasing.
+func (r *Resource) Acquire(p *Proc) {
+	if p.env != r.env {
+		panic("sim: Acquire across environments")
+	}
+	if _, held := r.acquired[p]; held {
+		panic("sim: " + p.name + " re-acquired resource " + r.name)
+	}
+	for r.inUse >= r.cap {
+		r.waiters = append(r.waiters, p)
+		p.park()
+	}
+	r.inUse++
+	r.acquired[p] = r.env.now
+}
+
+// TryAcquire takes a unit if one is free and reports whether it did.
+func (r *Resource) TryAcquire(p *Proc) bool {
+	if r.inUse >= r.cap {
+		return false
+	}
+	r.inUse++
+	r.acquired[p] = r.env.now
+	return true
+}
+
+// Release returns p's unit and wakes the first waiter, if any.
+func (r *Resource) Release(p *Proc) {
+	since, held := r.acquired[p]
+	if !held {
+		panic("sim: " + p.name + " released resource " + r.name + " it does not hold")
+	}
+	delete(r.acquired, p)
+	r.busy += r.env.now.Sub(since)
+	r.inUse--
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		next.unpark()
+	}
+}
+
+// Use acquires the resource, holds it for duration d of virtual time, and
+// releases it. It is the common pattern for modeling an operation that
+// occupies a physical unit.
+func (r *Resource) Use(p *Proc, d time.Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release(p)
+}
+
+// BusyTime reports the cumulative virtual time units of the resource
+// have been held (unit-seconds; divide by Cap for utilization).
+func (r *Resource) BusyTime() time.Duration { return r.busy }

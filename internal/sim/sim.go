@@ -1,0 +1,292 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel drives a set of processes — ordinary Go functions running in
+// goroutines — against a virtual clock. Exactly one process runs at a
+// time; control is handed back to the kernel whenever a process blocks in
+// Sleep, Wait, or Acquire. Events with equal timestamps fire in the order
+// they were scheduled, so a simulation is fully deterministic given
+// deterministic process code.
+//
+// The design follows the classic process-interaction style (as in SimPy):
+// CoServe's executors, transfer buses, and controllers are written as
+// straight-line Go code that sleeps for modeled durations and contends on
+// Resources that model physical units (a GPU, a PCIe bus, an SSD).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts t to a time.Duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled kernel action.
+type event struct {
+	at        Time
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int // heap index
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock plus an event queue.
+// The zero value is not usable; create environments with NewEnv.
+type Env struct {
+	now        Time
+	events     eventHeap
+	seq        int64
+	yield      chan struct{} // process -> kernel handoff
+	running    bool
+	terminated bool
+	parked     map[*Proc]struct{}
+	nprocs     int
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{
+		yield:  make(chan struct{}),
+		parked: make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues fn to run at time at. It returns the event so callers
+// may cancel it.
+func (e *Env) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", at, e.now))
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run after duration d. It is the callback-style
+// counterpart to Proc.Sleep and may be called from process context or
+// before Run.
+func (e *Env) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(e.now.Add(d), fn)
+}
+
+// Run executes events until the queue is empty, then returns the final
+// clock value. Processes still blocked when the queue drains are woken
+// with a termination panic that the process wrapper absorbs, so Run
+// leaves no goroutines behind.
+func (e *Env) Run() Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	e.running = false
+	e.drain()
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then stops,
+// leaving later events queued. It returns the clock value, which is
+// deadline if any events remained.
+func (e *Env) RunUntil(deadline Time) Time {
+	if e.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	e.running = true
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	e.running = false
+	if len(e.events) > 0 && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// terminationSentinel unwinds a parked process when the simulation ends.
+type terminationSentinel struct{}
+
+// drain wakes every parked process with a termination panic so their
+// goroutines exit. Called once the event queue is empty.
+func (e *Env) drain() {
+	e.terminated = true
+	for p := range e.parked {
+		delete(e.parked, p)
+		p.resume <- struct{}{}
+		<-e.yield
+	}
+}
+
+// Terminated reports whether the environment has finished draining.
+func (e *Env) Terminated() bool { return e.terminated }
+
+// Procs reports the number of processes that have been started and have
+// not yet finished.
+func (e *Env) Procs() int { return e.nprocs }
+
+// Proc is a simulation process: a goroutine that runs under the kernel's
+// control. All blocking methods must be called from the process's own
+// goroutine.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name reports the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go starts fn as a new process at the current virtual time. The process
+// begins executing when the kernel reaches its start event.
+func (e *Env) Go(name string, fn func(*Proc)) *Proc {
+	if e.terminated {
+		panic("sim: Go after environment drained")
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	e.schedule(e.now, func() { e.start(p, fn) })
+	return p
+}
+
+// start launches the process goroutine and waits for it to park or end.
+func (e *Env) start(p *Proc, fn func(*Proc)) {
+	go func() {
+		defer func() {
+			p.done = true
+			e.nprocs--
+			if r := recover(); r != nil {
+				if _, ok := r.(terminationSentinel); !ok {
+					// Re-panic on the kernel goroutine would be nicer, but
+					// a real bug in process code should crash loudly here.
+					panic(r)
+				}
+			}
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	<-e.yield
+}
+
+// park hands control to the kernel and blocks until resumed. It panics
+// with a termination sentinel if the environment drained while parked.
+func (p *Proc) park() {
+	p.env.parked[p] = struct{}{}
+	p.env.yield <- struct{}{}
+	<-p.resume
+	if p.env.terminated {
+		panic(terminationSentinel{})
+	}
+}
+
+// unpark schedules p to resume at the current virtual time.
+func (p *Proc) unpark() {
+	delete(p.env.parked, p)
+	p.env.schedule(p.env.now, func() {
+		p.resume <- struct{}{}
+		<-p.env.yield
+	})
+}
+
+// Sleep blocks the process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	env := p.env
+	env.schedule(env.now.Add(d), func() {
+		delete(env.parked, p)
+		p.resume <- struct{}{}
+		<-env.yield
+	})
+	env.parked[p] = struct{}{}
+	env.yield <- struct{}{}
+	<-p.resume
+	if env.terminated {
+		panic(terminationSentinel{})
+	}
+}
+
+// Yield lets every other runnable process scheduled at the current time
+// run before p continues. Equivalent to Sleep(0) but states intent.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Park blocks the process until some other component calls Unpark. It is
+// a building block for synchronization primitives defined outside this
+// package (for example, memory arenas with blocking reservations).
+func (p *Proc) Park() { p.park() }
+
+// Unpark schedules a parked process to resume at the current virtual
+// time. Calling Unpark for a process that is not parked corrupts the
+// kernel state; callers must pair it with Park.
+func (p *Proc) Unpark() { p.unpark() }

@@ -1,0 +1,427 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	env := NewEnv()
+	if env.Now() != 0 {
+		t.Fatalf("new env clock = %v, want 0", env.Now())
+	}
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var woke Time
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		woke = p.Now()
+	})
+	end := env.Run()
+	if woke != Time(3*time.Second) {
+		t.Errorf("woke at %v, want 3s", woke)
+	}
+	if end != Time(3*time.Second) {
+		t.Errorf("Run returned %v, want 3s", end)
+	}
+}
+
+func TestSequentialSleeps(t *testing.T) {
+	env := NewEnv()
+	var marks []Time
+	env.Go("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Second)
+			marks = append(marks, p.Now())
+		}
+	})
+	env.Run()
+	want := []Time{Time(time.Second), Time(2 * time.Second), Time(3 * time.Second)}
+	if len(marks) != len(want) {
+		t.Fatalf("got %d marks, want %d", len(marks), len(want))
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Errorf("mark %d = %v, want %v", i, marks[i], want[i])
+		}
+	}
+}
+
+func TestParallelProcessesInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		env := NewEnv()
+		var order []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			env.Go(name, func(p *Proc) {
+				p.Sleep(time.Second)
+				order = append(order, name+"1")
+				p.Sleep(time.Second)
+				order = append(order, name+"2")
+			})
+		}
+		env.Run()
+		return order
+	}
+	first := run()
+	want := []string{"a1", "b1", "c1", "a2", "b2", "c2"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("order = %v, want %v", first, want)
+		}
+	}
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("nondeterministic order: %v vs %v", again, first)
+			}
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	env := NewEnv()
+	var at Time
+	env.After(5*time.Millisecond, func() { at = env.Now() })
+	env.Run()
+	if at != Time(5*time.Millisecond) {
+		t.Errorf("callback at %v, want 5ms", at)
+	}
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative delay")
+		}
+	}()
+	NewEnv().After(-time.Second, func() {})
+}
+
+func TestEventBroadcast(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	var woke []string
+	for _, name := range []string{"w1", "w2"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			ev.Wait(p)
+			woke = append(woke, name)
+		})
+	}
+	env.Go("firer", func(p *Proc) {
+		p.Sleep(time.Second)
+		ev.Fire()
+	})
+	env.Run()
+	if len(woke) != 2 || woke[0] != "w1" || woke[1] != "w2" {
+		t.Errorf("woke = %v, want [w1 w2]", woke)
+	}
+	if !ev.Fired() {
+		t.Error("event not marked fired")
+	}
+}
+
+func TestEventWaitAfterFireReturnsImmediately(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	ev.Fire()
+	var at Time
+	env.Go("late", func(p *Proc) {
+		p.Sleep(time.Second)
+		ev.Wait(p)
+		at = p.Now()
+	})
+	env.Run()
+	if at != Time(time.Second) {
+		t.Errorf("late waiter resumed at %v, want 1s", at)
+	}
+}
+
+func TestEventDoubleFireIsNoop(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	ev.Fire()
+	ev.Fire() // must not panic
+}
+
+func TestGateReusable(t *testing.T) {
+	env := NewEnv()
+	g := NewGate(env)
+	var wakes int
+	env.Go("waiter", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			g.Wait(p)
+			wakes++
+		}
+	})
+	env.Go("notifier", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(time.Second)
+			g.Notify()
+		}
+	})
+	env.Run()
+	if wakes != 3 {
+		t.Errorf("wakes = %d, want 3", wakes)
+	}
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "gpu", 1)
+	var spans [][2]Time
+	for i := 0; i < 3; i++ {
+		env.Go("user", func(p *Proc) {
+			res.Acquire(p)
+			start := p.Now()
+			p.Sleep(time.Second)
+			res.Release(p)
+			spans = append(spans, [2]Time{start, p.Now()})
+		})
+	}
+	env.Run()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i][0] < spans[i-1][1] {
+			t.Errorf("span %d starts at %v before previous ends at %v", i, spans[i][0], spans[i-1][1])
+		}
+	}
+	if res.BusyTime() != 3*time.Second {
+		t.Errorf("busy time = %v, want 3s", res.BusyTime())
+	}
+}
+
+func TestResourceCapacityTwoOverlaps(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "bus", 2)
+	var finished []Time
+	for i := 0; i < 4; i++ {
+		env.Go("user", func(p *Proc) {
+			res.Use(p, time.Second)
+			finished = append(finished, p.Now())
+		})
+	}
+	end := env.Run()
+	if end != Time(2*time.Second) {
+		t.Errorf("4 unit jobs on cap-2 resource finished at %v, want 2s", end)
+	}
+	if len(finished) != 4 {
+		t.Fatalf("finished = %d, want 4", len(finished))
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Go("u", func(p *Proc) {
+			// Stagger arrivals so the queue order is unambiguous.
+			p.Sleep(time.Duration(i) * time.Millisecond)
+			res.Acquire(p)
+			order = append(order, i)
+			p.Sleep(time.Second)
+			res.Release(p)
+		})
+	}
+	env.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("service order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	var first, second bool
+	env.Go("p", func(p *Proc) {
+		first = res.TryAcquire(p)
+		second = res.TryAcquire(p)
+		if first {
+			res.Release(p)
+		}
+	})
+	env.Run()
+	if !first || second {
+		t.Errorf("TryAcquire = %v, %v; want true, false", first, second)
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, "r", 1)
+	var recovered bool
+	env.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+			}
+		}()
+		res.Release(p)
+	})
+	env.Run()
+	if !recovered {
+		t.Error("no panic on unpaired Release")
+	}
+}
+
+func TestRunDrainsBlockedProcesses(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	env.Go("stuck", func(p *Proc) {
+		ev.Wait(p) // never fired
+		t.Error("stuck process resumed normally")
+	})
+	env.Run()
+	if env.Procs() != 0 {
+		t.Errorf("procs remaining = %d, want 0", env.Procs())
+	}
+	if !env.Terminated() {
+		t.Error("env not terminated after Run")
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	env := NewEnv()
+	var ticks int
+	env.Go("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	got := env.RunUntil(Time(3500 * time.Millisecond))
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3", ticks)
+	}
+	if got != Time(3500*time.Millisecond) {
+		t.Errorf("RunUntil returned %v, want 3.5s", got)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	env := NewEnv()
+	env.Go("p", func(p *Proc) { p.Sleep(time.Second) })
+	env.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling in the past")
+		}
+	}()
+	env.schedule(0, func() {})
+}
+
+func TestYieldLetsPeersRun(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.Go("a", func(p *Proc) {
+		order = append(order, "a-start")
+		p.Yield()
+		order = append(order, "a-end")
+	})
+	env.Go("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	env.Run()
+	want := []string{"a-start", "b", "a-end"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventHeapOrderProperty checks the (time, seq) dequeue invariant
+// with random event sets.
+func TestEventHeapOrderProperty(t *testing.T) {
+	prop := func(times []int16) bool {
+		var h eventHeap
+		for i, raw := range times {
+			at := Time(int64(raw)&0x7fff) * Time(time.Millisecond)
+			heap.Push(&h, &event{at: at, seq: int64(i)})
+		}
+		lastAt := Time(-1)
+		lastSeq := int64(-1)
+		for h.Len() > 0 {
+			ev := heap.Pop(&h).(*event)
+			if ev.at < lastAt {
+				return false
+			}
+			if ev.at == lastAt && ev.seq < lastSeq {
+				return false
+			}
+			lastAt, lastSeq = ev.at, ev.seq
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomResourceWorkloadConserves checks that an arbitrary mix of
+// sleeps and resource uses completes every process exactly once and
+// never exceeds capacity.
+func TestRandomResourceWorkloadConserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		env := NewEnv()
+		capN := 1 + rng.Intn(3)
+		res := NewResource(env, "r", capN)
+		n := 5 + rng.Intn(20)
+		durs := make([]time.Duration, n)
+		for i := range durs {
+			durs[i] = time.Duration(1+rng.Intn(1000)) * time.Millisecond
+		}
+		completed := 0
+		maxInUse := 0
+		for i := 0; i < n; i++ {
+			d := durs[i]
+			env.Go("w", func(p *Proc) {
+				p.Sleep(d / 2)
+				res.Acquire(p)
+				if res.InUse() > maxInUse {
+					maxInUse = res.InUse()
+				}
+				p.Sleep(d)
+				res.Release(p)
+				completed++
+			})
+		}
+		env.Run()
+		if completed != n {
+			t.Fatalf("trial %d: completed %d of %d", trial, completed, n)
+		}
+		if maxInUse > capN {
+			t.Fatalf("trial %d: in-use %d exceeded capacity %d", trial, maxInUse, capN)
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tm := Time(0).Add(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", tm.Seconds())
+	}
+	if tm.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Errorf("Sub = %v, want 500ms", tm.Sub(Time(time.Second)))
+	}
+	if tm.Duration() != 1500*time.Millisecond {
+		t.Errorf("Duration = %v", tm.Duration())
+	}
+	if tm.String() != "1.5s" {
+		t.Errorf("String = %q", tm.String())
+	}
+}

@@ -1,0 +1,184 @@
+// Package stats provides the small statistical toolkit CoServe needs:
+// least-squares linear fits (the paper's Eq. 2 and the K/B execution-
+// latency model of §4.2/§4.5), summaries, and percentiles.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an estimator needs more points.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// LinearFit is a least-squares line y = K*x + B.
+type LinearFit struct {
+	K float64 // slope
+	B float64 // intercept
+	// R2 is the coefficient of determination of the fit (1 = perfect).
+	R2 float64
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.K*x + f.B }
+
+// FitLine computes the least-squares line through the points (xs[i],
+// ys[i]). It needs at least two points with distinct x values.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: mismatched slice lengths")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return LinearFit{}, ErrInsufficientData
+	}
+	var sumX, sumY, sumXX, sumXY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXX += xs[i] * xs[i]
+		sumXY += xs[i] * ys[i]
+	}
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	k := (n*sumXY - sumX*sumY) / den
+	b := (sumY - k*sumX) / n
+
+	meanY := sumY / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+		res := ys[i] - (k*xs[i] + b)
+		ssRes += res * res
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return LinearFit{K: k, B: b, R2: r2}, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It copies xs, leaving the
+// input unmodified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min returns the smallest element of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  Min(xs),
+		Max:  Max(xs),
+		P50:  Percentile(xs, 50),
+		P95:  Percentile(xs, 95),
+		P99:  Percentile(xs, 99),
+	}
+}
+
+// Normalize scales xs so the smallest positive unit becomes 1.0-based
+// scores: each value divided by the minimum. Used for the paper's memory
+// scores (§4.5), where footprints are normalized across experts. Returns
+// nil for empty input; values must be positive.
+func Normalize(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	m := Min(xs)
+	if m <= 0 {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / m
+	}
+	return out
+}

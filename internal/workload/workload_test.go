@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coe"
+)
+
+func buildA(t *testing.T) *Board {
+	t.Helper()
+	b, err := BoardA().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBoardSizesMatchPaper(t *testing.T) {
+	a := buildA(t)
+	if got := len(a.TypeProbs); got != 352 {
+		t.Errorf("board A types = %d, want 352", got)
+	}
+	if a.Model.NumExperts() != 352+30 {
+		t.Errorf("board A experts = %d, want 382", a.Model.NumExperts())
+	}
+	b, err := BoardB().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.TypeProbs); got != 342 {
+		t.Errorf("board B types = %d, want 342", got)
+	}
+}
+
+func TestBoardMemoryScale(t *testing.T) {
+	// §1: the inspection application needs > 60 GB of experts.
+	a := buildA(t)
+	gb := float64(a.Model.TotalWeightBytes()) / 1e9
+	if gb < 55 {
+		t.Errorf("board A expert bytes = %.1f GB, want > 55 GB", gb)
+	}
+}
+
+func TestTypeProbsNormalized(t *testing.T) {
+	a := buildA(t)
+	var sum float64
+	for _, p := range a.TypeProbs {
+		if p <= 0 {
+			t.Fatal("non-positive type probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("type probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestBoardDeterministic(t *testing.T) {
+	a1, a2 := buildA(t), buildA(t)
+	for c := range a1.TypeProbs {
+		if a1.TypeProbs[c] != a2.TypeProbs[c] {
+			t.Fatal("board generation not deterministic")
+		}
+	}
+	for i, e := range a1.Model.Experts() {
+		if e.UsageProb != a2.Model.Experts()[i].UsageProb {
+			t.Fatal("usage probabilities not deterministic")
+		}
+	}
+}
+
+func TestSampleTypeBoundsAndBias(t *testing.T) {
+	a := buildA(t)
+	if a.SampleType(0) < 0 || a.SampleType(0.999999) >= len(a.TypeProbs) {
+		t.Fatal("SampleType out of range")
+	}
+	// The most probable type must be sampled more often than a tail type.
+	counts := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		u := float64(i) / 10000
+		counts[a.SampleType(u)]++
+	}
+	best, bestN := -1, 0
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	var bestProb float64
+	for _, p := range a.TypeProbs {
+		if p > bestProb {
+			bestProb = p
+		}
+	}
+	if a.TypeProbs[best] != bestProb {
+		t.Error("most-sampled type is not the most probable")
+	}
+}
+
+func TestTaskGenerationDeterministic(t *testing.T) {
+	a := buildA(t)
+	r1, err := TaskA1(a).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := TaskA1(a).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != 2500 || len(r2) != 2500 {
+		t.Fatalf("task A1 sizes = %d/%d, want 2500", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Class != r2[i].Class || len(r1[i].Chain) != len(r2[i].Chain) {
+			t.Fatal("task generation not deterministic")
+		}
+	}
+}
+
+func TestTaskSizes(t *testing.T) {
+	a := buildA(t)
+	b, err := BoardB().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		task Task
+		n    int
+	}{
+		{TaskA1(a), 2500}, {TaskA2(a), 3500}, {TaskB1(b), 2500}, {TaskB2(b), 3500},
+	}
+	for _, c := range cases {
+		reqs, err := c.task.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != c.n {
+			t.Errorf("task %s size = %d, want %d", c.task.Name, len(reqs), c.n)
+		}
+	}
+}
+
+func TestWorkingSetInCalibratedBand(t *testing.T) {
+	// DESIGN.md §4: a 2,500-request task should touch roughly 120–220
+	// distinct experts so that a well-managed ~80–140-expert pool incurs
+	// tens of switches while FCFS+LRU incurs hundreds.
+	a := buildA(t)
+	reqs, err := TaskA1(a).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := DistinctExperts(reqs)
+	if ws < 100 || ws > 260 {
+		t.Errorf("task A1 working set = %d experts, want 100–260", ws)
+	}
+	reqs2, err := TaskA2(a).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws2 := DistinctExperts(reqs2); ws2 < ws {
+		t.Errorf("task A2 working set %d smaller than A1's %d", ws2, ws)
+	}
+}
+
+func TestSomeRequestsHaveDetectionStage(t *testing.T) {
+	a := buildA(t)
+	reqs, err := TaskA1(a).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var twoStage int
+	for _, r := range reqs {
+		if r.Stages() == 2 {
+			twoStage++
+		}
+	}
+	frac := float64(twoStage) / float64(len(reqs))
+	// ~60% of types carry a detector and ~95% of classifications pass.
+	if frac < 0.3 || frac > 0.8 {
+		t.Errorf("two-stage fraction = %.2f, want 0.3–0.8", frac)
+	}
+}
+
+func TestUsageCDFBetweenLinearAndStep(t *testing.T) {
+	// Figure 11: the real CDF lies between the uniform (linear) CDF and
+	// the degenerate step CDF.
+	a := buildA(t)
+	cdf := a.Model.UsageCDF()
+	n := len(cdf)
+	// At 10% of experts, coverage must exceed the uniform 10% but stay
+	// below the step function's 100%.
+	i := n / 10
+	if cdf[i] <= float64(i+1)/float64(n) {
+		t.Errorf("CDF at %d = %v not above linear %v", i, cdf[i], float64(i+1)/float64(n))
+	}
+	if cdf[i] >= 0.999 {
+		t.Errorf("CDF at %d = %v is step-like", i, cdf[i])
+	}
+}
+
+func TestDetectorsAreSharedAndLinked(t *testing.T) {
+	a := buildA(t)
+	shared := 0
+	for _, e := range a.Model.Experts() {
+		if e.Role == coe.Subsequent {
+			if len(e.DependsOn) > 1 {
+				shared++
+			}
+		}
+	}
+	if shared == 0 {
+		t.Error("no detector is shared by multiple classifiers")
+	}
+}
+
+func TestBadSpecsRejected(t *testing.T) {
+	s := BoardA()
+	s.Types = 0
+	if _, err := s.Build(); err == nil {
+		t.Error("zero types not rejected")
+	}
+	s2 := BoardA()
+	s2.Detectors = 0
+	if _, err := s2.Build(); err == nil {
+		t.Error("detector share without detectors not rejected")
+	}
+	bad := Task{Name: "x", N: 0}
+	if _, err := bad.Generate(); err == nil {
+		t.Error("empty task not rejected")
+	}
+}
+
+func TestNewBoardValidation(t *testing.T) {
+	a := buildA(t)
+	if _, err := NewBoard(nil, []float64{1}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewBoard(a.Model, nil); err == nil {
+		t.Error("empty distribution accepted")
+	}
+	if _, err := NewBoard(a.Model, []float64{0.5, 0.6}); err == nil {
+		t.Error("non-normalized distribution accepted")
+	}
+	if _, err := NewBoard(a.Model, []float64{1.0, -0.0}); err == nil {
+		t.Error("non-positive probability accepted")
+	}
+	// Valid: wrap board A's own distribution.
+	b, err := NewBoard(a.Model, a.TypeProbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SampleType(0.5) < 0 || b.SampleType(0.5) >= len(a.TypeProbs) {
+		t.Error("wrapped board cannot sample")
+	}
+}
+
+// Property: SampleType(u) returns the unique class whose cumulative
+// interval contains u.
+func TestSampleTypeConsistentProperty(t *testing.T) {
+	a := buildA(t)
+	prop := func(raw uint32) bool {
+		u := float64(raw) / float64(1<<32)
+		c := a.SampleType(u)
+		if c < 0 || c >= len(a.TypeProbs) {
+			return false
+		}
+		lo := 0.0
+		for i := 0; i < c; i++ {
+			lo += a.TypeProbs[i]
+		}
+		hi := lo + a.TypeProbs[c]
+		const eps = 1e-9
+		return u >= lo-eps && u < hi+eps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
