@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# ci is the tier-1 gate: formatting, vet, build, tests.
+ci: fmt-check vet build test
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -100,6 +100,95 @@ func BenchmarkTaskA1(b *testing.B) {
 	}
 }
 
+// BenchmarkPoissonServe measures the open-loop serving path end to end:
+// one System per iteration serving a Poisson stream through the
+// controller, with SLO accounting on — the serving-layer overhead
+// future PRs must not regress.
+func BenchmarkPoissonServe(b *testing.B) {
+	dev := hw.NUMADevice()
+	board, err := workload.BoardA().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, c := core.DefaultExecutors(dev)
+	cfg := core.Config{
+		Device: dev, Variant: core.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: core.CasualAllocation(dev, perf, g, c), Perf: perf,
+		SLO: 500 * time.Millisecond,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(cfg, board.Model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := workload.Poisson{
+			Name: "bench-poisson", Board: board, Rate: 40, N: 500, Seed: 99,
+		}.NewSource()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := sys.Serve(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completions != 500 {
+			b.Fatalf("completions = %d", rep.Completions)
+		}
+	}
+}
+
+// BenchmarkWarmRestartServe measures the warm path: the first stream
+// pays system construction and pool initialization, then b.N
+// consecutive streams reuse the loaded pools.
+func BenchmarkWarmRestartServe(b *testing.B) {
+	dev := hw.NUMADevice()
+	board, err := workload.BoardA().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, c := core.DefaultExecutors(dev)
+	cfg := core.Config{
+		Device: dev, Variant: core.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: core.CasualAllocation(dev, perf, g, c), Perf: perf,
+	}
+	sys, err := core.NewSystem(cfg, board.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.RunTask(workload.Task{
+		Name: "warmup", Board: board, N: 200,
+		ArrivalPeriod: workload.DefaultArrivalPeriod, Seed: 1,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sys.RunTask(workload.Task{
+			Name: "warm", Board: board, N: 200,
+			ArrivalPeriod: workload.DefaultArrivalPeriod, Seed: int64(i + 2),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completions != 200 {
+			b.Fatalf("completions = %d", rep.Completions)
+		}
+	}
+}
+
 // BenchmarkSimKernel measures raw event throughput of the discrete-event
 // kernel: pairs of processes ping-ponging through sleeps.
 func BenchmarkSimKernel(b *testing.B) {

@@ -8,6 +8,8 @@
 //	coserve experiment fig13             # regenerate one figure
 //	coserve experiment all               # regenerate everything
 //	coserve run -device numa -system coserve -task A1
+//	coserve serve -arrival poisson -rate 40 -n 2000 -slo 500ms
+//	coserve serve -board A+B -arrival mix -rate 4 -repeat 2
 //	coserve profile -device uma          # print the performance matrix
 package main
 
@@ -46,6 +48,8 @@ func run(args []string) error {
 		return cmdExperiment(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "profile":
 		return cmdProfile(args[1:])
 	case "help", "-h", "--help":
@@ -64,6 +68,7 @@ commands:
   list         list reproducible tables and figures
   experiment   regenerate a figure/table by id, or "all"
   run          run one task under one serving system
+  serve        serve an arrival stream (poisson, fixed, bursty, mix) with SLOs
   profile      run the offline profiler and print the performance matrix`)
 }
 
@@ -183,11 +188,7 @@ func cmdRun(args []string) error {
 	}
 	g, c := core.DefaultExecutors(dev)
 	cfg := core.Config{Device: dev, Variant: variant, GPUExecutors: g, CPUExecutors: c, Perf: perf}
-	if variant == core.Samba || variant == core.SambaFIFO {
-		cfg.Alloc = core.SambaAllocation(dev, perf)
-	} else {
-		cfg.Alloc = core.CasualAllocation(dev, perf, g, c)
-	}
+	cfg.Alloc = core.DefaultAllocation(variant, dev, perf, g, c)
 	sys, err := core.NewSystem(cfg, board.Model)
 	if err != nil {
 		return err
@@ -203,6 +204,146 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// cmdServe drives the streaming serving layer: it builds one System and
+// serves the requested arrival process against it, optionally several
+// consecutive times on warm pools.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	devName := fs.String("device", "numa", "device profile: numa or uma")
+	sysName := fs.String("system", "coserve", "serving system variant")
+	boardName := fs.String("board", "A", "board: A, B, or A+B (merged multi-tenant model)")
+	arrival := fs.String("arrival", "poisson", "arrival process: poisson, fixed, bursty, mix")
+	rate := fs.Float64("rate", 40, "offered load in req/s (poisson, mix)")
+	period := fs.Duration("period", workload.DefaultArrivalPeriod, "interarrival period (fixed, bursty)")
+	on := fs.Duration("on", 100*time.Millisecond, "burst ON window (bursty)")
+	off := fs.Duration("off", 400*time.Millisecond, "burst OFF window (bursty)")
+	n := fs.Int("n", 1000, "stream length in requests")
+	slo := fs.Duration("slo", 0, "per-request latency objective (0 = none)")
+	seed := fs.Int64("seed", 1, "stream seed")
+	repeat := fs.Int("repeat", 1, "serve the stream this many consecutive times (warm restarts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dev, err := hw.ByName(*devName)
+	if err != nil {
+		return err
+	}
+	variant, ok := systemsByName()[*sysName]
+	if !ok {
+		return fmt.Errorf("unknown system %q", *sysName)
+	}
+	if *repeat < 1 {
+		return fmt.Errorf("repeat must be at least 1")
+	}
+	switch *arrival {
+	case "poisson", "fixed", "bursty", "mix":
+	default:
+		return fmt.Errorf("unknown arrival process %q (want poisson, fixed, bursty, mix)", *arrival)
+	}
+
+	// Resolve the board (merging A and B for the multi-tenant model).
+	var board *workload.Board
+	var views []*workload.Board
+	switch strings.ToUpper(*boardName) {
+	case "A", "B":
+		spec := workload.BoardA()
+		if strings.ToUpper(*boardName) == "B" {
+			spec = workload.BoardB()
+		}
+		if board, err = spec.Build(); err != nil {
+			return err
+		}
+	case "A+B", "AB":
+		a, err := workload.BoardA().Build()
+		if err != nil {
+			return err
+		}
+		b, err := workload.BoardB().Build()
+		if err != nil {
+			return err
+		}
+		if board, views, err = workload.MergeBoards("board-a+b", []float64{1, 1}, a, b); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown board %q (want A, B, or A+B)", *boardName)
+	}
+
+	// newSource builds a fresh stream per serve round (sources are
+	// single-use).
+	newSource := func(round int) (workload.Source, error) {
+		rseed := *seed + int64(round)*1000
+		switch *arrival {
+		case "poisson":
+			return workload.Poisson{Name: "poisson", Board: board, Rate: *rate, N: *n, Seed: rseed}.NewSource()
+		case "fixed":
+			task := workload.Task{Name: "fixed", Board: board, N: *n, ArrivalPeriod: *period, Seed: rseed}
+			return task.Stream()
+		case "bursty":
+			return workload.Bursty{
+				Name: "bursty", Board: board,
+				Period: *period, On: *on, Off: *off, N: *n, Seed: rseed,
+			}.NewSource()
+		case "mix":
+			// Two equal tenants: over the merged views for A+B, or two
+			// streams on the same board otherwise.
+			b1, b2 := board, board
+			name1, name2 := "tenant-1", "tenant-2"
+			if len(views) == 2 {
+				b1, b2 = views[0], views[1]
+				name1, name2 = "board-a", "board-b"
+			}
+			t1, err := workload.Poisson{Name: name1, Board: b1, Rate: *rate / 2, N: *n / 2, Seed: rseed}.NewSource()
+			if err != nil {
+				return nil, err
+			}
+			t2, err := workload.Poisson{Name: name2, Board: b2, Rate: *rate / 2, N: *n - *n/2, Seed: rseed + 1}.NewSource()
+			if err != nil {
+				return nil, err
+			}
+			return workload.Mix{Name: "mix", Tenants: []workload.Source{t1, t2}}.NewSource()
+		default:
+			return nil, fmt.Errorf("unknown arrival process %q (want poisson, fixed, bursty, mix)", *arrival)
+		}
+	}
+
+	fmt.Printf("profiling %s (offline phase)...\n", dev.Name)
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		return err
+	}
+	g, c := core.DefaultExecutors(dev)
+	cfg := core.Config{
+		Device: dev, Variant: variant,
+		GPUExecutors: g, CPUExecutors: c, Perf: perf, SLO: *slo,
+	}
+	cfg.Alloc = core.DefaultAllocation(variant, dev, perf, g, c)
+	sys, err := core.NewSystem(cfg, board.Model)
+	if err != nil {
+		return err
+	}
+	for round := 0; round < *repeat; round++ {
+		src, err := newSource(round)
+		if err != nil {
+			return err
+		}
+		warmth := "cold pools"
+		if round > 0 {
+			warmth = "warm pools"
+		}
+		fmt.Printf("serving %s stream %d/%d (%d requests, %s) on %s under %s...\n",
+			*arrival, round+1, *repeat, *n, warmth, dev.Name, variant)
+		start := time.Now()
+		rep, err := sys.Serve(src)
+		if err != nil {
+			return err
+		}
+		printReport(rep)
+		fmt.Printf("(simulated in %v of wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
 func printReport(r *core.Report) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "system\t%s\n", r.System)
@@ -212,9 +353,26 @@ func printReport(r *core.Report) {
 	fmt.Fprintf(w, "makespan\t%.1f s (virtual)\n", r.Makespan.Seconds())
 	fmt.Fprintf(w, "expert switches\t%d (%d from SSD, %d from host)\n", r.Switches, r.SSDLoads, r.HostHits)
 	fmt.Fprintf(w, "evictions\t%d\n", r.Evictions)
-	fmt.Fprintf(w, "latency p50/p95\t%.2fs / %.2fs\n", r.Latency.P50, r.Latency.P95)
+	fmt.Fprintf(w, "latency p50/p95/p99\t%.2fs / %.2fs / %.2fs\n", r.Latency.P50, r.Latency.P95, r.Latency.P99)
+	if r.SLO > 0 {
+		fmt.Fprintf(w, "slo attainment\t%.1f%% within %v\n", 100*r.SLOAttainment, r.SLO)
+	}
 	fmt.Fprintf(w, "sched cost\t%v per decision (%d decisions)\n", r.SchedPerOp, r.SchedOps)
 	w.Flush()
+	if len(r.PerTenant) > 0 {
+		fmt.Println("per tenant:")
+		wt := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(wt, "  name\tadmitted\tcompleted\tp50\tp95\tslo attainment")
+		for _, ts := range r.PerTenant {
+			attain := "n/a"
+			if r.SLO > 0 {
+				attain = fmt.Sprintf("%.1f%%", 100*ts.SLOAttainment)
+			}
+			fmt.Fprintf(wt, "  %s\t%d\t%d\t%.2fs\t%.2fs\t%s\n",
+				ts.Name, ts.Admitted, ts.Completions, ts.Latency.P50, ts.Latency.P95, attain)
+		}
+		wt.Flush()
+	}
 	fmt.Println("per executor:")
 	we := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(we, "  name\tprocessed\tbatches\tbusy")

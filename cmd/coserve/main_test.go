@@ -31,6 +31,11 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"run", "-system", "magic"},
 		{"run", "-task", "Z9"},
 		{"profile", "-device", "quantum"},
+		{"serve", "-device", "quantum"},
+		{"serve", "-system", "magic"},
+		{"serve", "-board", "Z"},
+		{"serve", "-arrival", "telepathic"},
+		{"serve", "-repeat", "0"},
 	}
 	silence(t)
 	for _, args := range cases {
@@ -60,6 +65,22 @@ func TestProfileSubcommand(t *testing.T) {
 func TestRunSubcommandSmall(t *testing.T) {
 	silence(t)
 	if err := run([]string{"run", "-device", "numa", "-system", "coserve", "-task", "B1", "-n", "120"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServeSubcommandSmall(t *testing.T) {
+	silence(t)
+	if err := run([]string{"serve", "-arrival", "poisson", "-rate", "30", "-n", "150", "-slo", "1s"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"serve", "-arrival", "fixed", "-n", "120", "-repeat", "2"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"serve", "-arrival", "bursty", "-n", "100"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"serve", "-board", "A+B", "-arrival", "mix", "-rate", "6", "-n", "100"}); err != nil {
 		t.Error(err)
 	}
 }

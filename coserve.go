@@ -20,9 +20,22 @@
 //	report, _ := srv.RunTask(coserve.TaskA1(board))   // online phase
 //	fmt.Printf("%.1f img/s, %d expert switches\n", report.Throughput, report.Switches)
 //
-// Custom CoE models are assembled with NewModelBuilder; custom workloads
-// with the Task type. The experiments subcommand of cmd/coserve
-// regenerates every table and figure of the paper through the same API.
+// A Server is long-lived: beyond the paper's closed-loop tasks it serves
+// arbitrary arrival processes (Source), and consecutive Serve/RunTask
+// calls warm-restart it on already-loaded expert pools:
+//
+//	cfg.SLO = 500 * time.Millisecond                  // latency objective
+//	srv, _ := coserve.NewServer(cfg, board.Model)
+//	src, _ := coserve.Poisson{Name: "open", Board: board, Rate: 40, N: 5000, Seed: 1}.NewSource()
+//	report, _ := srv.Serve(src)                       // open-loop stream
+//	fmt.Printf("p99 %.3fs, %.1f%% in SLO\n", report.Latency.P99, 100*report.SLOAttainment)
+//	report2, _ := srv.RunTask(coserve.TaskA1(board))  // consecutive, warm pools
+//
+// Bursty traffic (Bursty), multi-tenant mixes (Mix), and fused
+// multi-board models (MergeBoards) compose the same way. Custom CoE
+// models are assembled with NewModelBuilder; custom workloads with the
+// Task type. The experiments subcommand of cmd/coserve regenerates
+// every table and figure of the paper through the same API.
 package coserve
 
 import (
@@ -127,12 +140,17 @@ type (
 	Allocation = core.Allocation
 )
 
-// Report summarizes a task run (throughput, switches, latency,
-// scheduling overhead).
+// Report summarizes one served stream (throughput, switches, latency
+// percentiles, SLO attainment, scheduling overhead).
 type Report = core.Report
 
+// TenantStats is one tenant's slice of a multi-tenant stream report.
+type TenantStats = core.TenantStats
+
 // Server is an assembled serving system bound to a simulated device. A
-// server runs exactly one task.
+// Server is long-lived: Serve runs one request stream to completion,
+// and consecutive calls warm-restart it on the already-loaded expert
+// pools.
 type Server = core.System
 
 // NewServer builds a serving system for the CoE model.
@@ -148,6 +166,12 @@ func SambaAllocation(dev *Device, perf PerfMatrix) Allocation {
 	return core.SambaAllocation(dev, perf)
 }
 
+// DefaultAllocation resolves the variant's default memory layout (Samba
+// layout for the Samba arrangements, casual split otherwise).
+func DefaultAllocation(v Variant, dev *Device, perf PerfMatrix, gpuExecutors, cpuExecutors int) Allocation {
+	return core.DefaultAllocation(v, dev, perf, gpuExecutors, cpuExecutors)
+}
+
 // AllocationForExperts sizes GPU expert memory to n reference experts
 // (the §4.4 search's sweep variable).
 func AllocationForExperts(dev *Device, perf PerfMatrix, n, gpuExecutors, cpuExecutors int) Allocation {
@@ -159,12 +183,29 @@ func AllocationForExperts(dev *Device, perf PerfMatrix, n, gpuExecutors, cpuExec
 func DefaultExecutors(dev *Device) (gpus, cpus int) { return core.DefaultExecutors(dev) }
 
 // Workload types: boards generate the CoE model and request
-// distribution; tasks are fixed-length request streams.
+// distribution; tasks are fixed-length closed-loop request streams.
 type (
 	BoardSpec = workload.BoardSpec
 	Board     = workload.Board
 	Task      = workload.Task
 )
+
+// Stream types: a Source is an arrival process yielding TimedRequests —
+// the paper's fixed-period closed loop (Task.Stream), open-loop Poisson,
+// bursty on/off traffic, or a multi-tenant Mix.
+type (
+	Source       = workload.Source
+	TimedRequest = workload.TimedRequest
+	Poisson      = workload.Poisson
+	Bursty       = workload.Bursty
+	Mix          = workload.Mix
+)
+
+// MergeBoards fuses several boards into one CoE model for multi-tenant
+// serving; it returns the merged board plus per-tenant sampling views.
+func MergeBoards(name string, shares []float64, boards ...*Board) (*Board, []*Board, error) {
+	return workload.MergeBoards(name, shares, boards...)
+}
 
 // NewBoard wraps a custom CoE model and class distribution as a Board
 // for custom workloads.

@@ -83,7 +83,7 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := coserve.RunExperiment(nil, "fig99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if got := len(coserve.Experiments()); got != 16 {
-		t.Errorf("experiments = %d, want 16 (13 paper artifacts + 3 extensions)", got)
+	if got := len(coserve.Experiments()); got != 19 {
+		t.Errorf("experiments = %d, want 19 (13 paper artifacts + 3 extensions + 3 serving)", got)
 	}
 }

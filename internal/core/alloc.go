@@ -43,6 +43,17 @@ func cpuActReserve(dev *hw.Device, perf model.PerfMatrix, cpuExecutors int) int6
 	return int64(cpuExecutors) * int64(p.MaxBatch) * p.ActPerImage
 }
 
+// DefaultAllocation resolves the memory layout a variant runs under by
+// default: the Samba layout for the single-executor Samba arrangements,
+// the casual split otherwise. The CLI and the experiments share it so a
+// new variant's allocation rule has one home.
+func DefaultAllocation(v Variant, dev *hw.Device, perf model.PerfMatrix, gpuExecutors, cpuExecutors int) Allocation {
+	if v == Samba || v == SambaFIFO {
+		return SambaAllocation(dev, perf)
+	}
+	return CasualAllocation(dev, perf, gpuExecutors, cpuExecutors)
+}
+
 // CasualAllocation is the intuitive configuration of §5.2 ("CoServe
 // Casual"): 75 % of GPU memory for expert loading, 25 % for batch
 // inference, CPU memory split between executor pools and the host cache.

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/hw"
 	"repro/internal/model"
@@ -144,6 +145,10 @@ type Config struct {
 	Alloc        Allocation
 	// Perf is the offline profiler's performance matrix.
 	Perf model.PerfMatrix
+	// SLO is the per-request end-to-end latency objective reports score
+	// attainment against. Zero disables SLO accounting (attainment
+	// reports as 1).
+	SLO time.Duration
 	// PreschedPicks, when non-nil, replays a recorded assignment
 	// sequence instead of scheduling online (Figure 19's pre-scheduled
 	// control).

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/coe"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// controller owns admission and completion for one stream served by a
+// System: it feeds timed requests from the arrival process into the
+// dispatch path, tracks outstanding work, and shuts the executors down
+// once the stream has fully drained — the lifecycle logic that used to
+// live inline in RunTask.
+type controller struct {
+	sys   *System
+	src   workload.Source
+	start sim.Time // virtual instant the stream began
+
+	admitted  int64
+	completed int64
+	closed    bool // the source is exhausted
+	finished  bool // every admitted request has completed
+
+	// tenantOf maps in-flight request IDs to their tenant for
+	// multi-tenant sources; nil until the first tagged request.
+	tenantOf map[int64]string
+	tenants  map[string]*tenantAgg
+	order    []string // tenant names in first-seen order
+}
+
+// tenantAgg accumulates one tenant's slice of a multi-tenant run.
+type tenantAgg struct {
+	admitted  int64
+	completed int64
+	latencies []float64
+}
+
+func newController(s *System, src workload.Source) *controller {
+	return &controller{sys: s, src: src, start: s.env.Now()}
+}
+
+// admit is the arrival process body: it walks the source, sleeps until
+// each request's due time, and dispatches it. When the source closes it
+// arms completion-driven shutdown (and shuts down immediately if the
+// stream already drained).
+func (c *controller) admit(p *sim.Proc) {
+	s := c.sys
+	for {
+		tr, ok := c.src.Next()
+		if !ok {
+			break
+		}
+		due := c.start.Add(tr.At)
+		if wait := due.Sub(p.Now()); wait > 0 {
+			p.Sleep(wait)
+		}
+		r := tr.Req
+		r.Arrival = p.Now()
+		s.recorder.Arrival(r.Arrival)
+		c.admitted++
+		if tr.Tenant != "" {
+			c.tag(r.ID, tr.Tenant)
+		}
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.Add(trace.Event{
+				At: r.Arrival.Duration(), Kind: trace.KindArrival, Request: r.ID,
+			})
+		}
+		s.dispatch(r)
+	}
+	c.closed = true
+	if c.completed == c.admitted {
+		c.finish()
+	}
+}
+
+// onBatch advances a completed stage: multi-stage requests are
+// re-dispatched for their subsequent expert; finished requests are
+// recorded, and the final completion of a closed stream shuts the
+// system down.
+func (c *controller) onBatch(p *sim.Proc, r *coe.Request) {
+	s := c.sys
+	s.recorder.StageDone()
+	if r.Advance() {
+		s.dispatch(r)
+		return
+	}
+	now := p.Now()
+	r.Done = now
+	s.recorder.Completion(r.Arrival, now)
+	if tenant, ok := c.tenantOf[r.ID]; ok {
+		agg := c.tenants[tenant]
+		agg.completed++
+		agg.latencies = append(agg.latencies, now.Sub(r.Arrival).Seconds())
+		delete(c.tenantOf, r.ID)
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Add(trace.Event{
+			At: now.Duration(), Kind: trace.KindComplete,
+			Request: r.ID, Dur: now.Sub(r.Arrival),
+		})
+	}
+	c.completed++
+	if c.closed && c.completed == c.admitted {
+		c.finish()
+	}
+}
+
+// finish marks the stream complete and wakes every executor so it can
+// observe Done and exit, leaving the environment clean for a warm
+// restart.
+func (c *controller) finish() {
+	c.finished = true
+	for _, q := range c.sys.queues {
+		q.Gate().Notify()
+	}
+}
+
+// tag records a request's tenant for per-tenant accounting.
+func (c *controller) tag(id int64, tenant string) {
+	if c.tenantOf == nil {
+		c.tenantOf = make(map[int64]string)
+		c.tenants = make(map[string]*tenantAgg)
+	}
+	if _, ok := c.tenants[tenant]; !ok {
+		c.tenants[tenant] = &tenantAgg{}
+		c.order = append(c.order, tenant)
+	}
+	c.tenantOf[id] = tenant
+	c.tenants[tenant].admitted++
+}
+
+// tenantStats renders the per-tenant breakdown in first-seen order.
+func (c *controller) tenantStats(slo float64) []TenantStats {
+	if len(c.order) == 0 {
+		return nil
+	}
+	out := make([]TenantStats, 0, len(c.order))
+	for _, name := range c.order {
+		agg := c.tenants[name]
+		ts := TenantStats{
+			Name:        name,
+			Admitted:    agg.admitted,
+			Completions: agg.completed,
+			Latency:     stats.Summarize(agg.latencies),
+		}
+		ts.SLOAttainment = stats.Attainment(agg.latencies, slo)
+		out = append(out, ts)
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/coe"
@@ -18,8 +19,11 @@ import (
 )
 
 // System is one assembled serving system: executors, pools, queues, and
-// the inference controller, bound to a fresh simulation environment. A
-// System runs exactly one task; build a new one per run.
+// the inference controller, bound to a simulation environment. A System
+// is long-lived: Serve runs one request stream to completion, and
+// consecutive Serve calls warm-restart the system, reusing the expert
+// pools (and host cache) exactly as the previous stream left them
+// instead of rebuilding the world per run.
 type System struct {
 	cfg      Config
 	m        *coe.Model
@@ -34,11 +38,12 @@ type System struct {
 
 	gpuActs, cpuActs *memory.Arena
 
-	done      bool
-	remaining int
-	picks     []int
-	measure   bool
-	ran       bool
+	ctrl    *controller
+	picks   []int
+	measure bool
+	runs    int
+	serving bool
+	broken  error
 }
 
 // NewSystem builds a system for the CoE model under the configuration.
@@ -50,9 +55,16 @@ func NewSystem(cfg Config, m *coe.Model) (*System, error) {
 	for _, e := range m.Experts() {
 		archSet[e.Arch.Name] = e.Arch
 	}
-	var archs []model.Architecture
-	for _, a := range archSet {
-		archs = append(archs, a)
+	// Sort by name: map iteration order must not leak into validation
+	// errors or Perf.Covers behavior.
+	archNames := make([]string, 0, len(archSet))
+	for name := range archSet {
+		archNames = append(archNames, name)
+	}
+	sort.Strings(archNames)
+	archs := make([]model.Architecture, len(archNames))
+	for i, name := range archNames {
+		archs[i] = archSet[name]
 	}
 	if cfg.Perf != nil {
 		if err := cfg.Perf.Covers(archs); err != nil {
@@ -154,7 +166,7 @@ func NewSystem(cfg Config, m *coe.Model) (*System, error) {
 			Compute: compute,
 			Acts:    acts,
 			Perf:    perfFor,
-			Done:    func() bool { return s.done },
+			Done:    s.streamDone,
 			OnBatch: s.onBatch,
 		}
 		s.queues = append(s.queues, q)
@@ -270,70 +282,94 @@ func (s *System) dispatch(r *coe.Request) {
 	}
 }
 
-// onBatch advances a completed stage: multi-stage requests are
-// re-dispatched for their subsequent expert; finished requests are
-// recorded, and the last completion shuts the system down.
-func (s *System) onBatch(p *sim.Proc, r *coe.Request) {
-	s.recorder.StageDone()
-	if r.Advance() {
-		s.dispatch(r)
-		return
-	}
-	now := p.Now()
-	r.Done = now
-	s.recorder.Completion(r.Arrival, now)
-	if s.cfg.Trace != nil {
-		s.cfg.Trace.Add(trace.Event{
-			At: now.Duration(), Kind: trace.KindComplete,
-			Request: r.ID, Dur: now.Sub(r.Arrival),
-		})
-	}
-	s.remaining--
-	if s.remaining == 0 {
-		s.done = true
-		for _, q := range s.queues {
-			q.Gate().Notify()
-		}
-	}
+// streamDone reports whether the current stream has fully completed —
+// the executors' exit condition.
+func (s *System) streamDone() bool {
+	return s.ctrl != nil && s.ctrl.finished
 }
 
-// RunTask generates the task's request stream, feeds it at the task's
-// arrival period, runs the simulation to completion, and returns the
-// report. A System can run only once.
-func (s *System) RunTask(task workload.Task) (*Report, error) {
-	if s.ran {
-		return nil, fmt.Errorf("core: system already ran a task")
+// onBatch forwards stage completions to the active stream's controller.
+func (s *System) onBatch(p *sim.Proc, r *coe.Request) {
+	s.ctrl.onBatch(p, r)
+}
+
+// Serve runs one request stream to completion and returns its report.
+// The first Serve runs against the freshly initialized pools (§4.1);
+// consecutive Serve calls warm-restart the system — the virtual clock
+// continues and the pools keep whatever experts the previous stream
+// left resident, so a follow-up stream with a similar working set pays
+// far fewer expert switches than a cold rebuild. Per-stream statistics
+// (recorder, executor and pool counters, assignment picks) are reset at
+// each restart; a stream that ends with requests still in flight
+// poisons the System and fails all further calls.
+func (s *System) Serve(src workload.Source) (*Report, error) {
+	if s.broken != nil {
+		return nil, s.broken
 	}
-	s.ran = true
-	reqs, err := task.Generate()
-	if err != nil {
-		return nil, err
+	if s.serving {
+		return nil, fmt.Errorf("core: Serve called re-entrantly")
 	}
-	s.remaining = len(reqs)
+	if s.runs > 0 && s.cfg.PreschedPicks != nil {
+		// A replay system reissues one recorded assignment sequence; a
+		// second stream would run past it.
+		return nil, fmt.Errorf("core: a pre-scheduled (replay) system serves exactly one stream")
+	}
+	if m, ok := src.(interface{ Model() *coe.Model }); ok && m.Model() != nil && m.Model() != s.m {
+		return nil, fmt.Errorf("core: stream %q draws from model %q, system serves %q",
+			src.Name(), m.Model().Name(), s.m.Name())
+	}
+	s.serving = true
+	defer func() { s.serving = false }()
+
+	if s.runs > 0 {
+		// Warm restart: re-arm the drained environment and zero the
+		// per-stream statistics. Pool contents — the warm state — are
+		// deliberately kept.
+		s.env.Reopen()
+		s.recorder = metrics.NewRecorder()
+		s.picks = s.picks[:0]
+		for _, ex := range s.executors {
+			ex.ResetStats()
+		}
+		for _, pl := range s.pools {
+			pl.ResetStats()
+		}
+	}
+	s.runs++
+	s.ctrl = newController(s, src)
+	if s.cfg.Trace != nil {
+		// Delimit consecutive streams: request IDs restart per stream.
+		s.cfg.Trace.Add(trace.Event{
+			At: s.env.Now().Duration(), Kind: trace.KindStream, Detail: src.Name(),
+		})
+	}
 
 	for _, ex := range s.executors {
 		ex := ex
 		s.env.Go(ex.Name, ex.Run)
 	}
-	s.env.Go("arrivals", func(p *sim.Proc) {
-		for i, r := range reqs {
-			if i > 0 {
-				p.Sleep(task.ArrivalPeriod)
-			}
-			r.Arrival = p.Now()
-			s.recorder.Arrival(r.Arrival)
-			if s.cfg.Trace != nil {
-				s.cfg.Trace.Add(trace.Event{
-					At: r.Arrival.Duration(), Kind: trace.KindArrival, Request: r.ID,
-				})
-			}
-			s.dispatch(r)
-		}
-	})
+	s.env.Go("arrivals", s.ctrl.admit)
 	s.env.Run()
 
-	if s.remaining != 0 {
-		return nil, fmt.Errorf("core: run ended with %d requests incomplete", s.remaining)
+	if !s.ctrl.finished {
+		s.broken = fmt.Errorf("core: stream %q ended with %d of %d requests incomplete",
+			src.Name(), s.ctrl.admitted-s.ctrl.completed, s.ctrl.admitted)
+		return nil, s.broken
 	}
-	return s.report(task), nil
+	return s.report(src.Name()), nil
+}
+
+// Runs reports how many streams the system has served.
+func (s *System) Runs() int { return s.runs }
+
+// RunTask serves the task's closed-loop fixed-period stream — the
+// paper's arrival shape — and returns the report. It is Serve over
+// Task.Stream; like Serve, it may be called repeatedly for consecutive
+// tasks on warm pools.
+func (s *System) RunTask(task workload.Task) (*Report, error) {
+	src, err := task.Stream()
+	if err != nil {
+		return nil, err
+	}
+	return s.Serve(src)
 }

@@ -151,6 +151,35 @@ func TestCoServeBeatsSambaOnThroughput(t *testing.T) {
 	}
 }
 
+func TestPreschedReplayServesOnlyOneStream(t *testing.T) {
+	// A replay system reissues one recorded pick sequence; a second
+	// stream must be rejected cleanly, not run the replay off its end.
+	board := boardFor(t, workload.BoardA())
+	online := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	onlineRep, err := online.RunTask(smallTask(board, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := perfFor(t, hw.NUMADevice())
+	g, c := DefaultExecutors(hw.NUMADevice())
+	cfg := Config{
+		Device: hw.NUMADevice(), Variant: CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: CasualAllocation(hw.NUMADevice(), pm, g, c),
+		Perf:  pm, PreschedPicks: onlineRep.Picks,
+	}
+	replay, err := NewSystem(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.RunTask(smallTask(board, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.RunTask(smallTask(board, 100)); err == nil {
+		t.Error("second stream on a replay system accepted")
+	}
+}
+
 func TestPreschedReplayMatchesOnlineOrder(t *testing.T) {
 	board := boardFor(t, workload.BoardA())
 	online := buildSystem(t, hw.NUMADevice(), CoServe, board)
@@ -206,14 +235,24 @@ func TestSystemRejectsBadConfigs(t *testing.T) {
 	}
 }
 
-func TestRunTaskOnlyOnce(t *testing.T) {
+func TestRunTaskRepeatable(t *testing.T) {
+	// The serving lifecycle allows consecutive tasks on one System; both
+	// runs must fully complete and report independently.
 	board := boardFor(t, workload.BoardA())
 	s := buildSystem(t, hw.NUMADevice(), CoServe, board)
-	if _, err := s.RunTask(smallTask(board, 50)); err != nil {
+	r1, err := s.RunTask(smallTask(board, 50))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RunTask(smallTask(board, 50)); err == nil {
-		t.Error("second RunTask accepted")
+	r2, err := s.RunTask(smallTask(board, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completions != 50 || r2.Completions != 50 {
+		t.Errorf("completions = %d, %d; want 50, 50", r1.Completions, r2.Completions)
+	}
+	if s.Runs() != 2 {
+		t.Errorf("Runs() = %d, want 2", s.Runs())
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // ExecutorStats is the per-executor slice of a report.
@@ -27,11 +26,25 @@ type PoolStats struct {
 	LoadTime  time.Duration
 }
 
-// Report summarizes one task run.
+// TenantStats is one tenant's slice of a multi-tenant stream report.
+type TenantStats struct {
+	Name        string
+	Admitted    int64
+	Completions int64
+	// Latency summarizes the tenant's end-to-end latency in seconds.
+	Latency stats.Summary
+	// SLOAttainment is the fraction of the tenant's completions meeting
+	// the configured objective (1 when no SLO is configured).
+	SLOAttainment float64
+}
+
+// Report summarizes one served stream.
 type Report struct {
 	System string
 	Device string
-	Task   string
+	// Task names the served stream (the task name for closed-loop runs,
+	// the source name otherwise).
+	Task string
 
 	N           int64
 	Completions int64
@@ -46,8 +59,20 @@ type Report struct {
 	HostHits  int64
 	Evictions int64
 
-	// Latency summarizes per-request end-to-end latency in seconds.
+	// Latency summarizes per-request end-to-end latency in seconds,
+	// including the p50/p95/p99 percentiles serving SLOs are scored on.
 	Latency stats.Summary
+
+	// SLO echoes the configured per-request latency objective (0 when
+	// none was set).
+	SLO time.Duration
+	// SLOAttainment is the fraction of completed requests whose latency
+	// met the objective (1 when no SLO is configured).
+	SLOAttainment float64
+
+	// PerTenant breaks a multi-tenant stream down by tenant, in first-
+	// arrival order. Nil for single-tenant streams.
+	PerTenant []TenantStats
 
 	// SchedPerOp is the mean wall-clock cost of one scheduling decision;
 	// InferPerStage is the mean virtual processing time (execution plus
@@ -64,20 +89,23 @@ type Report struct {
 	Picks []int
 }
 
-// report assembles the Report after a completed run.
-func (s *System) report(task workload.Task) *Report {
+// report assembles the Report after a completed stream.
+func (s *System) report(stream string) *Report {
 	r := &Report{
-		System:      s.cfg.Variant.String(),
-		Device:      s.cfg.Device.Name,
-		Task:        task.Name,
-		N:           s.recorder.Arrivals(),
-		Completions: s.recorder.Completions(),
-		Makespan:    s.recorder.Makespan(),
-		Throughput:  s.recorder.Throughput(),
-		Latency:     stats.Summarize(s.recorder.Latencies()),
-		SchedPerOp:  s.recorder.SchedPerOp(),
-		SchedOps:    s.recorder.SchedOps(),
-		Picks:       append([]int(nil), s.picks...),
+		System:        s.cfg.Variant.String(),
+		Device:        s.cfg.Device.Name,
+		Task:          stream,
+		N:             s.recorder.Arrivals(),
+		Completions:   s.recorder.Completions(),
+		Makespan:      s.recorder.Makespan(),
+		Throughput:    s.recorder.Throughput(),
+		Latency:       s.recorder.LatencySummary(),
+		SLO:           s.cfg.SLO,
+		SLOAttainment: s.recorder.SLOAttainment(s.cfg.SLO),
+		PerTenant:     s.ctrl.tenantStats(s.cfg.SLO.Seconds()),
+		SchedPerOp:    s.recorder.SchedPerOp(),
+		SchedOps:      s.recorder.SchedOps(),
+		Picks:         append([]int(nil), s.picks...),
 	}
 	var busy, load time.Duration
 	for _, ex := range s.executors {

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// TestServeConsecutiveTasksWarmPools is the warm-restart contract: one
+// System serves two consecutive streams, and the second — replaying the
+// same working set against pools the first run left warm — pays fewer
+// expert switches than the first.
+func TestServeConsecutiveTasksWarmPools(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	s := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	task := smallTask(board, 400)
+	r1, err := s.RunTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RunTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completions != 400 || r2.Completions != 400 {
+		t.Fatalf("completions = %d, %d; want 400, 400", r1.Completions, r2.Completions)
+	}
+	if r2.Switches >= r1.Switches {
+		t.Errorf("warm second run switched %d experts, not fewer than the first run's %d",
+			r2.Switches, r1.Switches)
+	}
+	if s.LoadedExperts() == 0 {
+		t.Error("no experts resident after two runs — pools were not kept warm")
+	}
+}
+
+// TestServeWarmBeatsColdRamp: a cold-start variant (Samba) served twice
+// must ramp faster the second time — the warm pools absorb the initial
+// load storm, lifting throughput.
+func TestServeWarmBeatsColdRamp(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	s := buildSystem(t, hw.NUMADevice(), Samba, board)
+	task := smallTask(board, 400)
+	r1, err := s.RunTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RunTask(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Throughput <= r1.Throughput {
+		t.Errorf("warm Samba run throughput %.2f not above cold %.2f", r2.Throughput, r1.Throughput)
+	}
+}
+
+// poissonFor builds a small open-loop stream against the board.
+func poissonFor(t *testing.T, name string, board *workload.Board, rate float64, n int, seed int64) workload.Source {
+	t.Helper()
+	src, err := workload.Poisson{
+		Name: name, Board: board, Rate: rate, N: n, Seed: seed,
+	}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestServePoissonStream(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	pm := perfFor(t, hw.NUMADevice())
+	g, c := DefaultExecutors(hw.NUMADevice())
+	cfg := Config{
+		Device: hw.NUMADevice(), Variant: CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: CasualAllocation(hw.NUMADevice(), pm, g, c), Perf: pm,
+		SLO: 2 * time.Second,
+	}
+	s, err := NewSystem(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Serve(poissonFor(t, "poisson-test", board, 50, 300, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions != 300 {
+		t.Fatalf("completions = %d, want 300", rep.Completions)
+	}
+	if rep.Throughput <= 0 {
+		t.Error("throughput not positive")
+	}
+	if rep.Latency.P50 > rep.Latency.P95 || rep.Latency.P95 > rep.Latency.P99 {
+		t.Errorf("latency percentiles not monotone: p50=%v p95=%v p99=%v",
+			rep.Latency.P50, rep.Latency.P95, rep.Latency.P99)
+	}
+	if rep.SLO != 2*time.Second {
+		t.Errorf("report SLO = %v, want 2s", rep.SLO)
+	}
+	if rep.SLOAttainment < 0 || rep.SLOAttainment > 1 {
+		t.Errorf("SLO attainment %v outside [0,1]", rep.SLOAttainment)
+	}
+}
+
+func TestServePoissonDeterministic(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	run := func() *Report {
+		s := buildSystem(t, hw.NUMADevice(), CoServe, board)
+		rep, err := s.Serve(poissonFor(t, "poisson-test", board, 100, 200, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Throughput != b.Throughput || a.Switches != b.Switches || a.Makespan != b.Makespan {
+		t.Errorf("nondeterministic poisson serve: %v/%v/%v vs %v/%v/%v",
+			a.Throughput, a.Switches, a.Makespan, b.Throughput, b.Switches, b.Makespan)
+	}
+}
+
+func TestServeBurstyStream(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	src, err := workload.Bursty{
+		Name: "bursty-test", Board: board,
+		Period: 2 * time.Millisecond, On: 100 * time.Millisecond, Off: 400 * time.Millisecond,
+		N: 250, Seed: 5,
+	}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	rep, err := s.Serve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions != 250 {
+		t.Errorf("completions = %d, want 250", rep.Completions)
+	}
+}
+
+// TestServeMixPerTenant serves a two-tenant mix over one board and
+// checks the per-tenant breakdown: every tenant's requests are admitted
+// and completed, and the slices add up to the stream totals.
+func TestServeMixPerTenant(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	fast := poissonFor(t, "tenant-fast", board, 150, 200, 21)
+	slow := poissonFor(t, "tenant-slow", board, 40, 80, 22)
+	src, err := workload.Mix{Name: "mix-test", Tenants: []workload.Source{fast, slow}}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	rep, err := s.Serve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions != 280 {
+		t.Fatalf("completions = %d, want 280", rep.Completions)
+	}
+	if len(rep.PerTenant) != 2 {
+		t.Fatalf("per-tenant slices = %d, want 2", len(rep.PerTenant))
+	}
+	var admitted, completed int64
+	for _, ts := range rep.PerTenant {
+		admitted += ts.Admitted
+		completed += ts.Completions
+		if ts.Admitted != ts.Completions {
+			t.Errorf("tenant %s: admitted %d != completed %d", ts.Name, ts.Admitted, ts.Completions)
+		}
+	}
+	if admitted != 280 || completed != 280 {
+		t.Errorf("tenant totals %d/%d, want 280/280", admitted, completed)
+	}
+}
+
+// TestServeMergedBoards runs the full multi-tenant path: boards A and B
+// fused into one CoE model, one System serving both tenants' streams.
+func TestServeMergedBoards(t *testing.T) {
+	a := boardFor(t, workload.BoardA())
+	b, err := workload.BoardB().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, views, err := workload.MergeBoards("a+b", []float64{1, 1}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenantA := poissonFor(t, "tenant-a", views[0], 60, 120, 31)
+	tenantB := poissonFor(t, "tenant-b", views[1], 60, 120, 32)
+	src, err := workload.Mix{Name: "a+b-mix", Tenants: []workload.Source{tenantA, tenantB}}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, hw.NUMADevice(), CoServe, merged)
+	rep, err := s.Serve(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions != 240 {
+		t.Fatalf("completions = %d, want 240", rep.Completions)
+	}
+	if len(rep.PerTenant) != 2 {
+		t.Fatalf("per-tenant slices = %d, want 2", len(rep.PerTenant))
+	}
+	for _, ts := range rep.PerTenant {
+		if ts.Completions != 120 {
+			t.Errorf("tenant %s completed %d, want 120", ts.Name, ts.Completions)
+		}
+	}
+}
+
+// TestServeRejectsForeignModelStream: a stream drawing from a different
+// CoE model than the System hosts is rejected upfront, not routed to
+// the wrong experts.
+func TestServeRejectsForeignModelStream(t *testing.T) {
+	a := boardFor(t, workload.BoardA())
+	b, err := workload.BoardB().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSystem(t, hw.NUMADevice(), CoServe, a)
+	if _, err := s.Serve(poissonFor(t, "foreign", b, 50, 50, 3)); err == nil {
+		t.Error("stream over board B's model accepted by board A's system")
+	}
+	// The rejection must not poison the system: board A streams still
+	// serve.
+	rep, err := s.Serve(poissonFor(t, "native", a, 50, 50, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions != 50 {
+		t.Errorf("completions = %d, want 50", rep.Completions)
+	}
+}
+
+// TestServeSLOAttainmentBounds pins the attainment extremes: a very lax
+// objective is fully attained, a sub-millisecond one is not (a chain
+// takes at least one execution latency).
+func TestServeSLOAttainmentBounds(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	pm := perfFor(t, hw.NUMADevice())
+	g, c := DefaultExecutors(hw.NUMADevice())
+	base := Config{
+		Device: hw.NUMADevice(), Variant: CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: CasualAllocation(hw.NUMADevice(), pm, g, c), Perf: pm,
+	}
+	for _, tc := range []struct {
+		slo  time.Duration
+		want func(float64) bool
+		desc string
+	}{
+		{0, func(a float64) bool { return a == 1 }, "disabled SLO reports full attainment"},
+		{time.Hour, func(a float64) bool { return a == 1 }, "lax SLO fully attained"},
+		{time.Microsecond, func(a float64) bool { return a < 0.01 }, "impossible SLO missed"},
+	} {
+		cfg := base
+		cfg.SLO = tc.slo
+		s, err := NewSystem(cfg, board.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Serve(poissonFor(t, "poisson-test", board, 50, 100, 13))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tc.want(rep.SLOAttainment) {
+			t.Errorf("%s: attainment = %v (slo %v)", tc.desc, rep.SLOAttainment, tc.slo)
+		}
+	}
+}

@@ -67,6 +67,12 @@ func (ex *Executor) Batches() int64 { return ex.batches }
 // BusyTime reports cumulative virtual execution time (excluding loads).
 func (ex *Executor) BusyTime() time.Duration { return ex.busy }
 
+// ResetStats zeroes the per-run counters. The serving layer calls it
+// between consecutive streams so each report covers one stream.
+func (ex *Executor) ResetStats() {
+	ex.processed, ex.batches, ex.busy = 0, 0, 0
+}
+
 // Run is the executor process body. Start it with env.Go(ex.Name, ex.Run).
 func (ex *Executor) Run(p *sim.Proc) {
 	if ex.OnBatch == nil || ex.Done == nil {

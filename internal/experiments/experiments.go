@@ -75,9 +75,11 @@ func Registry() []Experiment {
 	}
 }
 
-// All returns the paper artifacts followed by the extension experiments.
+// All returns the paper artifacts followed by the extension and
+// serving-layer experiments.
 func All() []Experiment {
-	return append(Registry(), extRegistry()...)
+	all := append(Registry(), extRegistry()...)
+	return append(all, serveRegistry()...)
 }
 
 // ByID finds an experiment (paper artifact or extension).

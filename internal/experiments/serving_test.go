@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestServeLoadSaturates: throughput tracks offered load while the
+// system has headroom and saturates beyond capacity; SLO attainment
+// degrades monotonically (within a tolerance) as load grows.
+func TestServeLoadSaturates(t *testing.T) {
+	tb := runExp(t, "serve-load")
+	perSystem := map[string][]float64{}
+	attain := map[string][]float64{}
+	for i := range tb.Rows {
+		sys := tb.Rows[i][1]
+		perSystem[sys] = append(perSystem[sys], cellFloat(t, tb, i, "throughput"))
+		attain[sys] = append(attain[sys], cellFloat(t, tb, i, "slo attainment"))
+	}
+	if len(perSystem) != 3 {
+		t.Fatalf("systems = %d, want 3", len(perSystem))
+	}
+	for sys, tps := range perSystem {
+		if len(tps) != 4 {
+			t.Fatalf("%s: rates = %d, want 4", sys, len(tps))
+		}
+		// Throughput must never decrease with offered load by more than
+		// noise: open-loop servers keep completing at capacity.
+		for i := 1; i < len(tps); i++ {
+			if tps[i] < tps[i-1]*0.7 {
+				t.Errorf("%s: throughput collapsed from %.1f to %.1f as load grew", sys, tps[i-1], tps[i])
+			}
+		}
+	}
+	// CoServe sustains the highest offered load.
+	last := len(perSystem["CoServe Casual"]) - 1
+	if perSystem["CoServe Casual"][last] <= perSystem["Samba-CoE"][last] {
+		t.Errorf("CoServe %.1f img/s not above Samba %.1f at the highest load",
+			perSystem["CoServe Casual"][last], perSystem["Samba-CoE"][last])
+	}
+	// At the highest offered load every system is past (or at) its knee;
+	// attainment there must not exceed the lightest load's.
+	for sys, as := range attain {
+		if as[len(as)-1] > as[0]+1e-9 {
+			t.Errorf("%s: attainment grew with load (%.1f%% -> %.1f%%)", sys, as[0], as[len(as)-1])
+		}
+	}
+}
+
+// TestServeWarmCutsSwitches: the warm second run must switch fewer
+// experts than both its own first run and a cold rebuild (CoServe rows).
+func TestServeWarmCutsSwitches(t *testing.T) {
+	tb := runExp(t, "serve-warm")
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	var run1, run2, cold float64
+	for i, row := range tb.Rows {
+		if row[0] != "CoServe Casual" {
+			continue
+		}
+		sw := cellFloat(t, tb, i, "switches")
+		switch {
+		case strings.HasPrefix(row[1], "1"):
+			run1 = sw
+		case strings.HasPrefix(row[1], "2"):
+			run2 = sw
+		default:
+			cold = sw
+		}
+	}
+	if run2 >= run1 {
+		t.Errorf("warm run switches %v not below first run %v", run2, run1)
+	}
+	if run2 >= cold {
+		t.Errorf("warm run switches %v not below cold rebuild %v", run2, cold)
+	}
+}
+
+// TestServeMixPreservesTenants: the mix table carries both tenants plus
+// the aggregate, and per-tenant completions sum to the total.
+func TestServeMixPreservesTenants(t *testing.T) {
+	tb := runExp(t, "serve-mix")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (two tenants + aggregate)", len(tb.Rows))
+	}
+	var sum, total int
+	for i, row := range tb.Rows {
+		n, err := strconv.Atoi(tb.Rows[i][2])
+		if err != nil {
+			t.Fatalf("bad completed cell %q", tb.Rows[i][2])
+		}
+		if row[0] == "(all)" {
+			total = n
+		} else {
+			sum += n
+		}
+	}
+	if sum != total || total == 0 {
+		t.Errorf("tenant completions %d do not sum to total %d", sum, total)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Recorder accumulates the metrics of one task run.
@@ -93,6 +94,20 @@ func (r *Recorder) Throughput() float64 {
 // Latencies returns per-request latencies in seconds. Callers must not
 // modify the returned slice.
 func (r *Recorder) Latencies() []float64 { return r.latencies }
+
+// LatencySummary summarizes per-request end-to-end latency in seconds,
+// including the p50/p95/p99 tail percentiles serving reports quote.
+func (r *Recorder) LatencySummary() stats.Summary {
+	return stats.Summarize(r.latencies)
+}
+
+// SLOAttainment reports the fraction of completed requests whose
+// end-to-end latency met the objective. It returns 0 when nothing
+// completed and 1 under a non-positive (disabled) objective — an
+// unconstrained run trivially attains its SLO.
+func (r *Recorder) SLOAttainment(slo time.Duration) float64 {
+	return stats.Attainment(r.latencies, slo.Seconds())
+}
 
 // SchedPerOp reports the mean wall-clock cost of one scheduling decision.
 func (r *Recorder) SchedPerOp() time.Duration {

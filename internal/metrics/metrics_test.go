@@ -65,3 +65,53 @@ func TestStageCounter(t *testing.T) {
 		t.Errorf("stages = %d, want 2", r.Stages())
 	}
 }
+
+func TestLatencySummaryPercentiles(t *testing.T) {
+	r := NewRecorder()
+	// 100 completions at 10ms, 20ms, ..., 1000ms.
+	for i := 1; i <= 100; i++ {
+		arr := sim.Time(0)
+		r.Arrival(arr)
+		r.Completion(arr, arr.Add(time.Duration(i)*10*time.Millisecond))
+	}
+	s := r.LatencySummary()
+	if s.N != 100 {
+		t.Fatalf("N = %d, want 100", s.N)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("percentiles not monotone: %v %v %v", s.P50, s.P95, s.P99)
+	}
+	if s.P50 < 0.49 || s.P50 > 0.52 {
+		t.Errorf("p50 = %v, want ~0.5", s.P50)
+	}
+	if s.P99 < 0.98 || s.P99 > 1.0 {
+		t.Errorf("p99 = %v, want ~0.99", s.P99)
+	}
+}
+
+func TestSLOAttainment(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 10; i++ {
+		arr := sim.Time(0)
+		r.Arrival(arr)
+		r.Completion(arr, arr.Add(time.Duration(i)*100*time.Millisecond))
+	}
+	// Latencies are 0.1s..1.0s; an SLO of 0.5s admits exactly half.
+	if got := r.SLOAttainment(500 * time.Millisecond); got != 0.5 {
+		t.Errorf("attainment = %v, want 0.5", got)
+	}
+	if got := r.SLOAttainment(time.Hour); got != 1 {
+		t.Errorf("lax attainment = %v, want 1", got)
+	}
+	if got := r.SLOAttainment(time.Millisecond); got != 0 {
+		t.Errorf("strict attainment = %v, want 0", got)
+	}
+	// Disabled objective: trivially attained.
+	if got := r.SLOAttainment(0); got != 1 {
+		t.Errorf("disabled attainment = %v, want 1", got)
+	}
+	// No completions under a real objective: nothing attained.
+	if got := NewRecorder().SLOAttainment(time.Second); got != 0 {
+		t.Errorf("empty attainment = %v, want 0", got)
+	}
+}

@@ -183,6 +183,23 @@ func (e *Env) drain() {
 // Terminated reports whether the environment has finished draining.
 func (e *Env) Terminated() bool { return e.terminated }
 
+// Reopen re-arms a drained environment for another round of processes:
+// the virtual clock keeps its value, and Go and the blocking operations
+// work again. It is the warm-restart hook for serving layers that run
+// consecutive streams on one simulated system. Callers are responsible
+// for having left no process parked on a Gate, Event, or Resource when
+// the previous Run drained — a stale waiter from a killed process would
+// corrupt the next round.
+func (e *Env) Reopen() {
+	if e.running {
+		panic("sim: Reopen while running")
+	}
+	if !e.terminated {
+		panic("sim: Reopen before Run drained")
+	}
+	e.terminated = false
+}
+
 // Procs reports the number of processes that have been started and have
 // not yet finished.
 func (e *Env) Procs() int { return e.nprocs }

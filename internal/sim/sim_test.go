@@ -425,3 +425,41 @@ func TestTimeHelpers(t *testing.T) {
 		t.Errorf("String = %q", tm.String())
 	}
 }
+
+func TestReopenRunsSecondRound(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.Go("first", func(p *Proc) {
+		p.Sleep(time.Second)
+		order = append(order, "first")
+	})
+	env.Run()
+	if !env.Terminated() {
+		t.Fatal("env not terminated after Run")
+	}
+	env.Reopen()
+	if env.Terminated() {
+		t.Fatal("env still terminated after Reopen")
+	}
+	// The clock continues: the second round starts where the first ended.
+	env.Go("second", func(p *Proc) {
+		p.Sleep(time.Second)
+		order = append(order, "second")
+	})
+	end := env.Run()
+	if end != Time(2*time.Second) {
+		t.Errorf("clock = %v after second round, want 2s", end)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestReopenBeforeDrainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Reopen on a fresh env did not panic")
+		}
+	}()
+	NewEnv().Reopen()
+}

@@ -164,6 +164,26 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
+// Attainment reports the fraction of xs at or under limit — the SLO
+// attainment rule shared by aggregate and per-tenant serving reports.
+// A non-positive limit means no objective and is trivially attained
+// (1); an empty sample under a real objective attains nothing (0).
+func Attainment(xs []float64, limit float64) float64 {
+	if limit <= 0 {
+		return 1
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	met := 0
+	for _, x := range xs {
+		if x <= limit {
+			met++
+		}
+	}
+	return float64(met) / float64(len(xs))
+}
+
 // Normalize scales xs so the smallest positive unit becomes 1.0-based
 // scores: each value divided by the minimum. Used for the paper's memory
 // scores (§4.5), where footprints are normalized across experts. Returns

@@ -26,6 +26,11 @@ const (
 	KindBatch Kind = "batch"
 	// KindComplete: a request finished its final stage.
 	KindComplete Kind = "complete"
+	// KindStream: a new stream began serving (warm restarts append
+	// consecutive streams to one log; request IDs restart per stream,
+	// so consumers must pair arrivals to completions within stream
+	// segments). Detail carries the stream name.
+	KindStream Kind = "stream"
 )
 
 // Event is one recorded occurrence. At is virtual time from simulation

@@ -8,6 +8,12 @@
 // what gives expert usage its non-uniform CDF (Figure 11). Component
 // images arrive at a fixed 4 ms period, and a task is a fixed count of
 // continuously arriving requests (Tasks A1/A2/B1/B2).
+//
+// Beyond the paper's closed loop, the package defines the Source
+// abstraction (source.go): arrival processes that yield timed requests —
+// fixed-period task streams, open-loop Poisson, bursty on/off traffic,
+// and multi-tenant mixes over merged boards — which the serving layer
+// (core.System.Serve) consumes uniformly.
 package workload
 
 import (
@@ -227,7 +233,9 @@ func (b *Board) SampleType(u float64) int {
 	return lo
 }
 
-// Task is a fixed-length request stream against one board.
+// Task is a fixed-length closed-loop request stream against one board:
+// the paper's arrival shape, and a thin wrapper over the Source
+// abstraction (see Task.Stream).
 type Task struct {
 	Name          string
 	Board         *Board
