@@ -22,5 +22,9 @@ fmt-check:
 # ci is the tier-1 gate: formatting, vet, build, tests.
 ci: fmt-check vet build test
 
+# bench compiles and executes every benchmark exactly once (no test
+# functions), so the benchmark harness cannot rot. Compare against the
+# recorded baseline in BENCH_kernel.json before merging kernel or
+# scheduler changes.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 1x ./...
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

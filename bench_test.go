@@ -15,6 +15,7 @@ import (
 	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -231,6 +232,49 @@ func BenchmarkMinMaxAssign(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		assigner.Pick(0, qs, e)
+	}
+}
+
+// BenchmarkGroupedEnqueue measures the queue arranging hot path: one
+// merge into an existing group plus the gate notify, the per-request
+// cost Enqueue pays after assignment.
+func BenchmarkGroupedEnqueue(b *testing.B) {
+	env := sim.NewEnv()
+	costs := sched.Costs{
+		K:           func(*coe.Expert) time.Duration { return 2 * time.Millisecond },
+		B:           func(*coe.Expert) time.Duration { return 5 * time.Millisecond },
+		PredictLoad: func(*coe.Expert) time.Duration { return time.Second },
+		IsLoaded:    func(coe.ExpertID) bool { return false },
+	}
+	q := sched.NewQueue(env, "q", sched.ModeGrouped, costs)
+	e := &coe.Expert{ID: 1, Arch: model.ResNet101}
+	r := coe.NewRequest(0, 0, []coe.ExpertID{e.ID})
+	q.Enqueue(e, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(e, r)
+		// Drain periodically so the group's item slice stays at a
+		// steady-state size instead of growing with b.N.
+		if q.Len() >= 1024 {
+			for q.Len() > 0 {
+				q.TakeFromHead(512)
+			}
+		}
+	}
+}
+
+// BenchmarkSummarize measures the single-sort latency summary over a
+// 10k-sample stream — the per-report cost of every serving experiment.
+func BenchmarkSummarize(b *testing.B) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64((i * 7919) % 10000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Summarize(xs)
 	}
 }
 

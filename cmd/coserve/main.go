@@ -7,6 +7,8 @@
 //	coserve list                         # what can be reproduced
 //	coserve experiment fig13             # regenerate one figure
 //	coserve experiment all               # regenerate everything
+//	coserve experiment -cpuprofile cpu.out -memprofile mem.out fig13
+//	                                     # profile a hot-path regression
 //	coserve run -device numa -system coserve -task A1
 //	coserve serve -arrival poisson -rate 40 -n 2000 -slo 500ms
 //	coserve serve -board A+B -arrival mix -rate 4 -repeat 2
@@ -17,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -67,6 +71,7 @@ func usage() {
 commands:
   list         list reproducible tables and figures
   experiment   regenerate a figure/table by id, or "all"
+               (-cpuprofile/-memprofile write pprof profiles of the run)
   run          run one task under one serving system
   serve        serve an arrival stream (poisson, fixed, bursty, mix) with SLOs
   profile      run the offline profiler and print the performance matrix`)
@@ -83,11 +88,37 @@ func cmdList() error {
 
 func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("experiment needs one id (or \"all\"); see coserve list")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // material allocations only: flush garbage before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coserve: writing heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 	ctx := coserve.NewExperimentContext()
 	ids := []string{fs.Arg(0)}

@@ -323,10 +323,10 @@ func (s *System) Serve(src workload.Source) (*Report, error) {
 
 	if s.runs > 0 {
 		// Warm restart: re-arm the drained environment and zero the
-		// per-stream statistics. Pool contents — the warm state — are
-		// deliberately kept.
+		// per-stream statistics, keeping the recorder's sample buffers.
+		// Pool contents — the warm state — are deliberately kept.
 		s.env.Reopen()
-		s.recorder = metrics.NewRecorder()
+		s.recorder.Reset()
 		s.picks = s.picks[:0]
 		for _, ex := range s.executors {
 			ex.ResetStats()

@@ -78,13 +78,14 @@ func (ex *Executor) Run(p *sim.Proc) {
 	if ex.OnBatch == nil || ex.Done == nil {
 		panic(fmt.Sprintf("executor %s: incomplete wiring", ex.Name))
 	}
+	gate := ex.Queue.Gate()
 	for {
 		g := ex.Queue.Head()
 		if g == nil {
 			if ex.Done() {
 				return
 			}
-			ex.Queue.Gate().Wait(p)
+			gate.Wait(p)
 			continue
 		}
 		ex.serveGroup(p, g)

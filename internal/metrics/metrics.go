@@ -35,6 +35,18 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// Reset zeroes the recorder for another stream while keeping the sample
+// buffer's capacity, so warm-restarted serving streams stop reallocating
+// their latency samples. It invalidates any slice previously returned by
+// Latencies.
+func (r *Recorder) Reset() {
+	r.arrivals, r.completions, r.stages = 0, 0, 0
+	r.firstArrival, r.lastCompletion = 0, 0
+	r.haveArrival = false
+	r.latencies = r.latencies[:0]
+	r.schedWall, r.schedOps = 0, 0
+}
+
 // Arrival records a request entering the system at virtual time t.
 func (r *Recorder) Arrival(t sim.Time) {
 	if !r.haveArrival || t < r.firstArrival {
@@ -92,7 +104,7 @@ func (r *Recorder) Throughput() float64 {
 }
 
 // Latencies returns per-request latencies in seconds. Callers must not
-// modify the returned slice.
+// modify the returned slice, and must not hold it across a Reset.
 func (r *Recorder) Latencies() []float64 { return r.latencies }
 
 // LatencySummary summarizes per-request end-to-end latency in seconds,

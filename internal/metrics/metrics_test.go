@@ -115,3 +115,49 @@ func TestSLOAttainment(t *testing.T) {
 		t.Errorf("empty attainment = %v, want 0", got)
 	}
 }
+
+// TestResetKeepsSampleCapacity pins the warm-restart path: Reset must
+// zero every statistic but keep the latency buffer's capacity so
+// consecutive streams stop reallocating samples.
+func TestResetKeepsSampleCapacity(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * sim.Time(time.Millisecond)
+		r.Arrival(at)
+		r.StageDone()
+		r.Completion(at, at.Add(50*time.Millisecond))
+	}
+	r.SchedOp(3 * time.Microsecond)
+	grown := cap(r.latencies)
+	if grown < 100 {
+		t.Fatalf("latency buffer cap = %d, want >= 100", grown)
+	}
+	r.Reset()
+	if r.Arrivals() != 0 || r.Completions() != 0 || r.Stages() != 0 ||
+		r.SchedOps() != 0 || r.SchedWall() != 0 || r.Makespan() != 0 {
+		t.Errorf("Reset left counters: %+v", r)
+	}
+	if len(r.Latencies()) != 0 {
+		t.Errorf("Reset left %d latency samples", len(r.Latencies()))
+	}
+	if cap(r.latencies) != grown {
+		t.Errorf("Reset dropped sample capacity: %d -> %d", grown, cap(r.latencies))
+	}
+	// A second identical stream must not allocate new sample storage.
+	if allocs := testing.AllocsPerRun(5, func() {
+		for i := 0; i < 100; i++ {
+			at := sim.Time(i) * sim.Time(time.Millisecond)
+			r.Arrival(at)
+			r.Completion(at, at.Add(50*time.Millisecond))
+		}
+		r.Reset()
+	}); allocs > 0 {
+		t.Errorf("warm stream recording allocated %.1f objects/op, want 0", allocs)
+	}
+	// And the recorder still records correctly after Reset.
+	r.Arrival(0)
+	r.Completion(0, sim.Time(time.Second))
+	if got := r.LatencySummary(); got.N != 1 || got.Mean != 1 {
+		t.Errorf("post-Reset summary = %+v", got)
+	}
+}

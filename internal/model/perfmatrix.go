@@ -6,24 +6,29 @@ import (
 	"repro/internal/hw"
 )
 
+// PerfKey identifies one matrix cell: an architecture name on a
+// processor kind. A composite struct key instead of a concatenated
+// string keeps Lookup allocation-free — executors and queue predictors
+// consult the matrix on every request, so a per-lookup string build was
+// the single largest allocation source of a serving run.
+type PerfKey struct {
+	Arch string
+	Kind hw.ProcKind
+}
+
 // PerfMatrix is the offline profiler's output (§4.5): one Perf entry per
 // (architecture, processor kind). Experts sharing an architecture share
 // an entry, because their computational complexity is identical.
-type PerfMatrix map[string]Perf
-
-// perfKey builds the matrix key.
-func perfKey(arch string, kind hw.ProcKind) string {
-	return arch + "/" + kind.String()
-}
+type PerfMatrix map[PerfKey]Perf
 
 // Put stores the entry for an architecture on a processor kind.
 func (pm PerfMatrix) Put(arch Architecture, kind hw.ProcKind, p Perf) {
-	pm[perfKey(arch.Name, kind)] = p
+	pm[PerfKey{Arch: arch.Name, Kind: kind}] = p
 }
 
 // Lookup returns the entry for an architecture name on a processor kind.
 func (pm PerfMatrix) Lookup(arch string, kind hw.ProcKind) (Perf, bool) {
-	p, ok := pm[perfKey(arch, kind)]
+	p, ok := pm[PerfKey{Arch: arch, Kind: kind}]
 	return p, ok
 }
 

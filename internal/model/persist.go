@@ -27,9 +27,11 @@ type perfJSON struct {
 // the architecture definitions must be supplied again on load.
 func (pm PerfMatrix) WriteJSON(w io.Writer) error {
 	out := make([]perfJSON, 0, len(pm))
+	known := make(map[PerfKey]bool, len(pm))
 	// Iterate deterministically: architectures x kinds.
 	for _, arch := range []Architecture{ResNet101, YOLOv5m, YOLOv5l} {
 		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
+			known[PerfKey{Arch: arch.Name, Kind: kind}] = true
 			if p, ok := pm.Lookup(arch.Name, kind); ok {
 				out = append(out, perfJSON{
 					Arch: arch.Name, Proc: kind.String(),
@@ -42,20 +44,12 @@ func (pm PerfMatrix) WriteJSON(w io.Writer) error {
 	}
 	// Entries for custom architectures follow in map order; re-read via
 	// ReadPerfMatrix keys them by name, so order does not matter.
-	known := make(map[string]bool, len(out))
-	for _, e := range out {
-		known[e.Arch+"/"+e.Proc] = true
-	}
 	for key, p := range pm {
 		if known[key] {
 			continue
 		}
-		kind := hw.GPU
-		if p.Proc.Kind == hw.CPU {
-			kind = hw.CPU
-		}
 		out = append(out, perfJSON{
-			Arch: p.Arch.Name, Proc: kind.String(),
+			Arch: p.Arch.Name, Proc: key.Kind.String(),
 			K: p.K, B: p.B, MaxBatch: p.MaxBatch,
 			ActPerImage: p.ActPerImage,
 			LoadSSD:     p.LoadSSD, LoadHost: p.LoadHost,

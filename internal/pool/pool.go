@@ -77,6 +77,10 @@ type Pool struct {
 	entries map[coe.ExpertID]*Entry
 	seq     int64
 
+	// scratch backs LoadedUnpinned so every eviction decision reuses one
+	// candidate buffer instead of allocating a fresh slice.
+	scratch []*Entry
+
 	// stats
 	switches  int64
 	evictions int64
@@ -266,15 +270,18 @@ func (p *Pool) evict(need int64) {
 }
 
 // LoadedUnpinned returns resident, unpinned entries in ascending
-// ExpertID order — the stable candidate list handed to policies.
+// ExpertID order — the stable candidate list handed to policies. The
+// returned slice is only valid until the next call: it is a reused
+// scratch buffer that policies may reorder but must not retain.
 func (p *Pool) LoadedUnpinned() []*Entry {
-	out := make([]*Entry, 0, len(p.entries))
+	out := p.scratch[:0]
 	for _, e := range p.entries {
 		if e.Status == Loaded && e.Pins == 0 {
 			out = append(out, e)
 		}
 	}
 	sortEntriesByID(out)
+	p.scratch = out
 	return out
 }
 

@@ -63,23 +63,35 @@ type MinMax struct{}
 // Name implements Assigner.
 func (MinMax) Name() string { return "min-max" }
 
-// Pick implements Assigner.
+// Pick implements Assigner. Rather than materializing a per-queue finish
+// slice, it tracks the largest and second-largest current finish times:
+// the maximum over the queues other than i is max1, unless i itself is
+// the arg-max, in which case it is max2. FinishTime is O(1), so one
+// decision is O(queues) with zero allocations.
 func (MinMax) Pick(now sim.Time, qs []*Queue, e *coe.Expert) int {
-	finishes := make([]sim.Time, len(qs))
+	const minTime = sim.Time(-1 << 62)
+	max1, max2 := minTime, minTime
+	argmax := -1
 	for i, q := range qs {
-		finishes[i] = q.FinishTime(now)
+		f := q.FinishTime(now)
+		if f > max1 {
+			max2, max1, argmax = max1, f, i
+		} else if f > max2 {
+			max2 = f
+		}
 	}
 	best := -1
 	var bestTotal sim.Time
 	var bestAdd time.Duration
 	for i, q := range qs {
 		add := q.Predict(e)
-		newFinish := finishes[i].Add(add)
-		total := newFinish
-		for j := range qs {
-			if j != i && finishes[j] > total {
-				total = finishes[j]
-			}
+		total := q.FinishTime(now).Add(add)
+		other := max1
+		if i == argmax {
+			other = max2
+		}
+		if other > total {
+			total = other
 		}
 		if best < 0 || total < bestTotal || (total == bestTotal && add < bestAdd) {
 			best, bestTotal, bestAdd = i, total, add

@@ -81,6 +81,21 @@ func (g *Group) PredictedRemaining() time.Duration {
 	return d
 }
 
+// expertIndex tracks one expert's standing in a queue so the per-arrival
+// questions — "is there a group to merge into?" (mergeTarget) and "does
+// any group use this expert?" (hasExpert) — are O(1) instead of a scan
+// over all groups. MinMax assignment asks them once per queue per
+// arrival, so at high arrival rates this is the per-request scheduling
+// cost.
+type expertIndex struct {
+	// groups counts queued groups (started or not) using the expert.
+	groups int
+	// open is the expert's unstarted group accepting merges, if any.
+	// In grouped mode at most one exists and it is the latest group for
+	// the expert; FIFO mode does not use it (only the tail group merges).
+	open *Group
+}
+
 // Queue is one executor's request queue.
 type Queue struct {
 	name  string
@@ -92,6 +107,12 @@ type Queue struct {
 	items   int
 	pending time.Duration // predicted cost of all unstarted groups
 
+	// index maps expert -> standing in this queue. Entries are zeroed
+	// rather than deleted when an expert drains: the expert set of a
+	// model is small and fixed, so keeping them avoids re-allocating map
+	// entries across warm-restarted streams.
+	index map[coe.ExpertID]*expertIndex
+
 	busyUntil sim.Time
 }
 
@@ -100,7 +121,11 @@ func NewQueue(env *sim.Env, name string, mode Mode, costs Costs) *Queue {
 	if costs.K == nil || costs.B == nil || costs.PredictLoad == nil || costs.IsLoaded == nil {
 		panic("sched: queue costs incomplete")
 	}
-	return &Queue{name: name, mode: mode, costs: costs, gate: sim.NewGate(env)}
+	return &Queue{
+		name: name, mode: mode, costs: costs,
+		gate:  sim.NewGate(env),
+		index: make(map[coe.ExpertID]*expertIndex),
+	}
 }
 
 // Name reports the queue name.
@@ -139,38 +164,40 @@ func (q *Queue) FinishTime(now sim.Time) sim.Time {
 	return base.Add(q.pending)
 }
 
+// indexFor returns (creating if needed) the expert's index entry.
+func (q *Queue) indexFor(e coe.ExpertID) *expertIndex {
+	ix := q.index[e]
+	if ix == nil {
+		ix = &expertIndex{}
+		q.index[e] = ix
+	}
+	return ix
+}
+
 // mergeTarget finds the group a new request for expert e would join, or
-// -1 if it needs a fresh group. Only unstarted groups accept merges.
-func (q *Queue) mergeTarget(e coe.ExpertID) int {
+// nil if it needs a fresh group. Only unstarted groups accept merges.
+// O(1): grouped mode consults the expert index, FIFO mode the tail.
+func (q *Queue) mergeTarget(e coe.ExpertID) *Group {
 	switch q.mode {
 	case ModeGrouped:
-		for i := len(q.groups) - 1; i >= 0; i-- {
-			if q.groups[i].Expert.ID == e {
-				if q.groups[i].started {
-					return -1
-				}
-				return i
-			}
+		if ix := q.index[e]; ix != nil && ix.open != nil {
+			return ix.open
 		}
 	case ModeFIFO:
 		if n := len(q.groups); n > 0 {
 			tail := q.groups[n-1]
 			if tail.Expert.ID == e && !tail.started {
-				return n - 1
+				return tail
 			}
 		}
 	}
-	return -1
+	return nil
 }
 
 // hasExpert reports whether any group (started or not) uses the expert.
 func (q *Queue) hasExpert(e coe.ExpertID) bool {
-	for _, g := range q.groups {
-		if g.Expert.ID == e {
-			return true
-		}
-	}
-	return false
+	ix := q.index[e]
+	return ix != nil && ix.groups > 0
 }
 
 // Predict computes the additional inference latency the request would
@@ -181,7 +208,7 @@ func (q *Queue) hasExpert(e coe.ExpertID) bool {
 // otherwise.
 func (q *Queue) Predict(e *coe.Expert) time.Duration {
 	cost := q.costs.K(e)
-	if q.mergeTarget(e.ID) >= 0 {
+	if q.mergeTarget(e.ID) != nil {
 		return cost
 	}
 	cost += q.costs.B(e)
@@ -195,8 +222,8 @@ func (q *Queue) Predict(e *coe.Expert) time.Duration {
 // pending prediction, and wakes the executor.
 func (q *Queue) Enqueue(e *coe.Expert, r *coe.Request) {
 	k := q.costs.K(e)
-	if i := q.mergeTarget(e.ID); i >= 0 {
-		q.groups[i].items = append(q.groups[i].items, r)
+	if g := q.mergeTarget(e.ID); g != nil {
+		g.items = append(g.items, r)
 		q.pending += k
 	} else {
 		g := &Group{Expert: e, perItem: k, base: q.costs.B(e)}
@@ -205,6 +232,11 @@ func (q *Queue) Enqueue(e *coe.Expert, r *coe.Request) {
 		}
 		g.items = append(g.items, r)
 		q.insertGroup(g)
+		ix := q.indexFor(e.ID)
+		ix.groups++
+		if q.mode == ModeGrouped {
+			ix.open = g
+		}
 		q.pending += g.base + k
 	}
 	q.items++
@@ -243,6 +275,9 @@ func (q *Queue) TakeFromHead(n int) []*coe.Request {
 	g := q.groups[0]
 	if !g.started {
 		g.started = true
+		if ix := q.index[g.Expert.ID]; ix != nil && ix.open == g {
+			ix.open = nil
+		}
 		q.pending -= g.base + g.perItem*time.Duration(len(g.items))
 	}
 	if n > len(g.items) {
@@ -252,6 +287,7 @@ func (q *Queue) TakeFromHead(n int) []*coe.Request {
 	g.items = g.items[n:]
 	q.items -= n
 	if len(g.items) == 0 {
+		q.index[g.Expert.ID].groups--
 		copy(q.groups, q.groups[1:])
 		q.groups[len(q.groups)-1] = nil
 		q.groups = q.groups[:len(q.groups)-1]

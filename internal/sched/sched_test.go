@@ -426,3 +426,133 @@ func TestByExpertPartitions(t *testing.T) {
 		t.Error("name wrong")
 	}
 }
+
+// TestExpertIndexConsistency drives a randomized enqueue/take workload
+// and checks the expert index agrees with a linear scan of the groups —
+// the invariant that lets mergeTarget, hasExpert, and Predict skip the
+// scan.
+func TestExpertIndexConsistency(t *testing.T) {
+	for _, mode := range []Mode{ModeGrouped, ModeFIFO} {
+		env := sim.NewEnv()
+		q := testQueue(t, env, mode)
+		seq := int64(0)
+		for step := 0; step < 2000; step++ {
+			id := coe.ExpertID(step * 7919 % 13)
+			if step%5 == 4 {
+				q.TakeFromHead(1 + step%3)
+			} else {
+				q.Enqueue(expert(id), req(seq, id))
+				seq++
+			}
+			for e := coe.ExpertID(0); e < 13; e++ {
+				count := 0
+				var latest *Group
+				for _, g := range q.groups {
+					if g.Expert.ID == e {
+						count++
+						latest = g
+					}
+				}
+				if got := q.hasExpert(e); got != (count > 0) {
+					t.Fatalf("%v step %d: hasExpert(%d) = %v, scan count %d", mode, step, e, got, count)
+				}
+				var wantMerge *Group
+				switch mode {
+				case ModeGrouped:
+					if latest != nil && !latest.started {
+						wantMerge = latest
+					}
+				case ModeFIFO:
+					if n := len(q.groups); n > 0 && q.groups[n-1].Expert.ID == e && !q.groups[n-1].started {
+						wantMerge = q.groups[n-1]
+					}
+				}
+				if got := q.mergeTarget(e); got != wantMerge {
+					t.Fatalf("%v step %d: mergeTarget(%d) = %p, want %p", mode, step, e, got, wantMerge)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictEnqueueScaleIndependence is the acceptance test for the
+// O(1) expert index: on a queue already holding 10,000 groups, Predict
+// must not allocate, and both Predict and Enqueue-merge must run in
+// time that a linear scan over 10k groups could not meet.
+func TestPredictEnqueueScaleIndependence(t *testing.T) {
+	env := sim.NewEnv()
+	q := testQueue(t, env, ModeGrouped)
+	const groups = 10000
+	for i := 0; i < groups; i++ {
+		id := coe.ExpertID(i)
+		q.Enqueue(expert(id), req(int64(i), id))
+	}
+	if q.Groups() != groups {
+		t.Fatalf("groups = %d, want %d", q.Groups(), groups)
+	}
+	probe := expert(groups - 1) // hottest case for a tail-first scan is the miss path; use a hit
+	if allocs := testing.AllocsPerRun(100, func() { q.Predict(probe) }); allocs > 0 {
+		t.Errorf("Predict on a 10k-group queue allocated %.1f objects/op, want 0", allocs)
+	}
+	miss := expert(groups + 5)
+	if allocs := testing.AllocsPerRun(100, func() { q.Predict(miss) }); allocs > 0 {
+		t.Errorf("Predict miss on a 10k-group queue allocated %.1f objects/op, want 0", allocs)
+	}
+	// Time bound: 200k predictions against 10k groups. A linear scan
+	// would be ~2e9 group visits; the index keeps this well under a
+	// second even on slow CI hardware.
+	start := time.Now()
+	for i := 0; i < 200000; i++ {
+		q.Predict(probe)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("200k predictions on a 10k-group queue took %v; expert index not consulted?", elapsed)
+	}
+
+	// Enqueue must be scale-independent too: pre-grow the merge target's
+	// item capacity, then bound allocations and time for merges into the
+	// 10k-group queue.
+	const iters = 300
+	target := q.mergeTarget(probe.ID)
+	if target == nil {
+		t.Fatal("no merge target for probe expert")
+	}
+	seq := int64(groups)
+	for cap(target.items)-len(target.items) < iters+10 {
+		q.Enqueue(probe, req(seq, probe.ID))
+		seq++
+	}
+	r := req(seq, probe.ID)
+	if allocs := testing.AllocsPerRun(iters, func() { q.Enqueue(probe, r) }); allocs > 0 {
+		t.Errorf("Enqueue merge on a 10k-group queue allocated %.2f objects/op, want 0", allocs)
+	}
+	start = time.Now()
+	for i := 0; i < 100000; i++ {
+		q.Enqueue(probe, r)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("100k enqueues on a 10k-group queue took %v; groups scanned linearly?", elapsed)
+	}
+}
+
+// TestEnqueueMergeZeroAllocs pins the merge fast path: enqueueing into
+// an existing group with spare item capacity must not allocate.
+func TestEnqueueMergeZeroAllocs(t *testing.T) {
+	env := sim.NewEnv()
+	q := testQueue(t, env, ModeGrouped)
+	const iters = 200
+	id := coe.ExpertID(1)
+	q.Enqueue(expert(id), req(0, id))
+	// Grow the group's item capacity past what the measured runs append,
+	// so the measurement sees the steady-state path, not slice growth.
+	seq := int64(1)
+	for cap(q.groups[0].items)-q.groups[0].Len() < iters+10 {
+		q.Enqueue(expert(id), req(seq, id))
+		seq++
+	}
+	r := req(seq, id)
+	e := expert(id)
+	if allocs := testing.AllocsPerRun(iters, func() { q.Enqueue(e, r) }); allocs > 0 {
+		t.Errorf("Enqueue into an existing group allocated %.2f objects/op, want 0", allocs)
+	}
+}

@@ -51,6 +51,9 @@ func (ev *Event) Wait(p *Proc) {
 type Gate struct {
 	env     *Env
 	waiters []*Proc
+	// spare is the previous waiter buffer, swapped back in on Notify so
+	// the notify-wait cycle reuses capacity instead of reallocating.
+	spare []*Proc
 }
 
 // NewGate returns a gate bound to env.
@@ -62,10 +65,12 @@ func NewGate(env *Env) *Gate {
 // Processes that call Wait after Notify block until the next Notify.
 func (g *Gate) Notify() {
 	waiters := g.waiters
-	g.waiters = nil
-	for _, p := range waiters {
+	g.waiters = g.spare[:0]
+	for i, p := range waiters {
 		p.unpark()
+		waiters[i] = nil
 	}
+	g.spare = waiters[:0]
 }
 
 // Wait blocks p until the next Notify.

@@ -2,6 +2,15 @@ package sim
 
 import "time"
 
+// holder records one process's claim on a resource unit and when it took
+// it. Holders live in a small slice instead of a map: capacities are tiny
+// (usually 1), so a linear scan beats hashing on the acquire/release hot
+// path and allocates nothing in steady state.
+type holder struct {
+	p     *Proc
+	since Time
+}
+
 // Resource models a unit of physical capacity — a GPU compute engine, a
 // PCIe bus, an SSD controller — that at most cap processes may hold
 // simultaneously. Contending processes queue in FIFO order, which keeps
@@ -10,13 +19,11 @@ type Resource struct {
 	env     *Env
 	name    string
 	cap     int
-	inUse   int
+	holders []holder
 	waiters []*Proc
 
 	// accounting
-	busy      time.Duration // cumulative held time x units
-	lastTouch Time
-	acquired  map[*Proc]Time
+	busy time.Duration // cumulative held time x units
 }
 
 // NewResource returns a resource with the given capacity (>= 1).
@@ -25,10 +32,10 @@ func NewResource(env *Env, name string, capacity int) *Resource {
 		panic("sim: resource capacity must be >= 1")
 	}
 	return &Resource{
-		env:      env,
-		name:     name,
-		cap:      capacity,
-		acquired: make(map[*Proc]Time),
+		env:     env,
+		name:    name,
+		cap:     capacity,
+		holders: make([]holder, 0, capacity),
 	}
 }
 
@@ -39,10 +46,20 @@ func (r *Resource) Name() string { return r.name }
 func (r *Resource) Cap() int { return r.cap }
 
 // InUse reports the number of units currently held.
-func (r *Resource) InUse() int { return r.inUse }
+func (r *Resource) InUse() int { return len(r.holders) }
 
 // QueueLen reports the number of processes waiting to acquire.
 func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// holderIndex returns the index of p's claim, or -1.
+func (r *Resource) holderIndex(p *Proc) int {
+	for i := range r.holders {
+		if r.holders[i].p == p {
+			return i
+		}
+	}
+	return -1
+}
 
 // Acquire blocks p until a unit is free, then takes it. A process must
 // not acquire the same resource twice without releasing.
@@ -50,39 +67,44 @@ func (r *Resource) Acquire(p *Proc) {
 	if p.env != r.env {
 		panic("sim: Acquire across environments")
 	}
-	if _, held := r.acquired[p]; held {
+	if r.holderIndex(p) >= 0 {
 		panic("sim: " + p.name + " re-acquired resource " + r.name)
 	}
-	for r.inUse >= r.cap {
+	for len(r.holders) >= r.cap {
 		r.waiters = append(r.waiters, p)
 		p.park()
 	}
-	r.inUse++
-	r.acquired[p] = r.env.now
+	r.holders = append(r.holders, holder{p: p, since: r.env.now})
 }
 
 // TryAcquire takes a unit if one is free and reports whether it did.
 func (r *Resource) TryAcquire(p *Proc) bool {
-	if r.inUse >= r.cap {
+	if len(r.holders) >= r.cap {
 		return false
 	}
-	r.inUse++
-	r.acquired[p] = r.env.now
+	r.holders = append(r.holders, holder{p: p, since: r.env.now})
 	return true
 }
 
 // Release returns p's unit and wakes the first waiter, if any.
 func (r *Resource) Release(p *Proc) {
-	since, held := r.acquired[p]
-	if !held {
+	i := r.holderIndex(p)
+	if i < 0 {
 		panic("sim: " + p.name + " released resource " + r.name + " it does not hold")
 	}
-	delete(r.acquired, p)
-	r.busy += r.env.now.Sub(since)
-	r.inUse--
+	r.busy += r.env.now.Sub(r.holders[i].since)
+	last := len(r.holders) - 1
+	r.holders[i] = r.holders[last]
+	r.holders[last] = holder{}
+	r.holders = r.holders[:last]
 	if len(r.waiters) > 0 {
 		next := r.waiters[0]
-		r.waiters = r.waiters[1:]
+		// Shift down instead of re-slicing forward: the buffer keeps its
+		// front capacity, so the waiter queue stops allocating once it has
+		// grown to the steady-state contention level.
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[len(r.waiters)-1] = nil
+		r.waiters = r.waiters[:len(r.waiters)-1]
 		next.unpark()
 	}
 }

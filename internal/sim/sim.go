@@ -11,6 +11,14 @@
 // CoServe's executors, transfer buses, and controllers are written as
 // straight-line Go code that sleeps for modeled durations and contends on
 // Resources that model physical units (a GPU, a PCIe bus, an SSD).
+//
+// The event loop is the hottest path of every experiment, so it is kept
+// allocation-lean: fired events are recycled on a per-environment free
+// list, and the dominant event kinds — Sleep timeouts and unpark wake-ups
+// — carry the *Proc to resume directly on the event instead of allocating
+// a capturing closure. Pure-callback events (After, AfterFunc) take the
+// other dispatch path and run inline on the kernel goroutine with no
+// process handoff at all.
 package sim
 
 import (
@@ -37,13 +45,17 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled kernel action.
+// event is a scheduled kernel action. Exactly one of fn and proc is set:
+// fn is the callback fast path, run inline on the kernel goroutine; proc
+// is the wake path, resuming a parked process. Events are pooled on the
+// environment's free list, so no field may be read after release.
 type event struct {
-	at        Time
-	seq       int64
-	fn        func()
-	cancelled bool
-	index     int // heap index
+	at    Time
+	seq   int64
+	fn    func() // callback path (After, AfterFunc, process start)
+	proc  *Proc  // wake path (Sleep, Unpark) — no closure allocated
+	index int    // heap index; -1 once removed from the heap
+	next  *event // free-list link
 }
 
 // eventHeap orders events by (time, sequence).
@@ -56,6 +68,9 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
+
+// Swap keeps the cached heap indices in sync so Env.Cancel can remove an
+// event by index at any time.
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
@@ -66,11 +81,15 @@ func (h *eventHeap) Push(x any) {
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }
+
+// Pop clears the removed event's index: a stale index would let a later
+// Cancel corrupt the heap by removing whatever event now sits there.
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }
@@ -84,41 +103,133 @@ type Env struct {
 	yield      chan struct{} // process -> kernel handoff
 	running    bool
 	terminated bool
-	parked     map[*Proc]struct{}
 	nprocs     int
+
+	// parkedHead/parkedTail form an intrusive doubly-linked list of
+	// parked processes threaded through Proc.parkedPrev/parkedNext:
+	// O(1) insert and remove with zero allocation per park.
+	parkedHead, parkedTail *Proc
+
+	// free is the event free list; fired and cancelled events are
+	// recycled here so steady-state scheduling allocates nothing.
+	free *event
 }
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{
-		yield:  make(chan struct{}),
-		parked: make(map[*Proc]struct{}),
-	}
+	return &Env{yield: make(chan struct{})}
 }
 
 // Now reports the current virtual time.
 func (e *Env) Now() Time { return e.now }
 
-// schedule enqueues fn to run at time at. It returns the event so callers
-// may cancel it.
-func (e *Env) schedule(at Time, fn func()) *event {
+// newEvent takes an event from the free list (or allocates one), stamps
+// it with the next sequence number, and pushes it on the heap.
+func (e *Env) newEvent(at Time) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past (%v < %v)", at, e.now))
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq = at, e.seq
 	heap.Push(&e.events, ev)
+	return ev
+}
+
+// releaseEvent returns a fired or cancelled event to the free list. The
+// sequence number is cleared so stale Timer handles cannot match it.
+func (e *Env) releaseEvent(ev *event) {
+	ev.fn, ev.proc = nil, nil
+	ev.seq = 0
+	ev.index = -1
+	ev.next = e.free
+	e.free = ev
+}
+
+// schedule enqueues fn to run at time at.
+func (e *Env) schedule(at Time, fn func()) *event {
+	ev := e.newEvent(at)
+	ev.fn = fn
+	return ev
+}
+
+// scheduleWake enqueues a closure-free wake-up of p at time at — the
+// timer path behind Sleep and Unpark.
+func (e *Env) scheduleWake(at Time, p *Proc) *event {
+	ev := e.newEvent(at)
+	ev.proc = p
 	return ev
 }
 
 // After schedules fn to run after duration d. It is the callback-style
 // counterpart to Proc.Sleep and may be called from process context or
-// before Run.
+// before Run. The callback runs inline on the kernel goroutine.
 func (e *Env) After(d time.Duration, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
 	e.schedule(e.now.Add(d), fn)
+}
+
+// Timer is a handle to a callback scheduled with AfterFunc. Its zero
+// value is an expired handle.
+type Timer struct {
+	env *Env
+	ev  *event
+	seq int64 // generation guard: events are pooled and reused
+}
+
+// AfterFunc schedules fn to run after duration d, like After, and
+// returns a Timer that can revoke the callback via Env.Cancel.
+func (e *Env) AfterFunc(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	ev := e.schedule(e.now.Add(d), fn)
+	return Timer{env: e, ev: ev, seq: ev.seq}
+}
+
+// Cancel revokes a pending timer and reports whether it did: false means
+// the callback already ran, was already cancelled, or the handle is zero.
+// Cancelling a timer on an environment it does not belong to panics,
+// like every other cross-environment operation. Cancelling is O(log n) —
+// the event is removed from the heap by its cached index and recycled
+// immediately.
+func (e *Env) Cancel(t Timer) bool {
+	ev := t.ev
+	if ev == nil {
+		return false
+	}
+	if t.env != e {
+		panic("sim: Cancel across environments")
+	}
+	if ev.seq != t.seq || ev.index < 0 || ev.index >= len(e.events) || e.events[ev.index] != ev {
+		return false
+	}
+	heap.Remove(&e.events, ev.index)
+	e.releaseEvent(ev)
+	return true
+}
+
+// dispatch fires one popped event: wake events resume their process, and
+// callback events run inline with no goroutine handoff. The event is
+// recycled before firing so the handler can immediately reuse it.
+func (e *Env) dispatch(ev *event) {
+	e.now = ev.at
+	if p := ev.proc; p != nil {
+		e.releaseEvent(ev)
+		e.wake(p)
+		return
+	}
+	fn := ev.fn
+	e.releaseEvent(ev)
+	fn()
 }
 
 // Run executes events until the queue is empty, then returns the final
@@ -131,12 +242,7 @@ func (e *Env) Run() Time {
 	}
 	e.running = true
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
+		e.dispatch(heap.Pop(&e.events).(*event))
 	}
 	e.running = false
 	e.drain()
@@ -152,12 +258,7 @@ func (e *Env) RunUntil(deadline Time) Time {
 	}
 	e.running = true
 	for len(e.events) > 0 && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
+		e.dispatch(heap.Pop(&e.events).(*event))
 	}
 	e.running = false
 	if len(e.events) > 0 && e.now < deadline {
@@ -173,10 +274,8 @@ type terminationSentinel struct{}
 // goroutines exit. Called once the event queue is empty.
 func (e *Env) drain() {
 	e.terminated = true
-	for p := range e.parked {
-		delete(e.parked, p)
-		p.resume <- struct{}{}
-		<-e.yield
+	for e.parkedHead != nil {
+		e.wake(e.parkedHead)
 	}
 }
 
@@ -212,6 +311,10 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+
+	// Intrusive parked-list links; owned by the environment.
+	parkedPrev, parkedNext *Proc
+	parked                 bool
 }
 
 // Name reports the process name given to Go.
@@ -255,10 +358,50 @@ func (e *Env) start(p *Proc, fn func(*Proc)) {
 	<-e.yield
 }
 
+// pushParked appends p to the parked list.
+func (e *Env) pushParked(p *Proc) {
+	p.parked = true
+	p.parkedPrev = e.parkedTail
+	p.parkedNext = nil
+	if e.parkedTail != nil {
+		e.parkedTail.parkedNext = p
+	} else {
+		e.parkedHead = p
+	}
+	e.parkedTail = p
+}
+
+// removeParked unlinks p from the parked list; a no-op if p is not on it.
+func (e *Env) removeParked(p *Proc) {
+	if !p.parked {
+		return
+	}
+	if p.parkedPrev != nil {
+		p.parkedPrev.parkedNext = p.parkedNext
+	} else {
+		e.parkedHead = p.parkedNext
+	}
+	if p.parkedNext != nil {
+		p.parkedNext.parkedPrev = p.parkedPrev
+	} else {
+		e.parkedTail = p.parkedPrev
+	}
+	p.parkedPrev, p.parkedNext = nil, nil
+	p.parked = false
+}
+
+// wake resumes a parked process on the kernel goroutine and blocks until
+// it parks again or finishes.
+func (e *Env) wake(p *Proc) {
+	e.removeParked(p)
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
 // park hands control to the kernel and blocks until resumed. It panics
 // with a termination sentinel if the environment drained while parked.
 func (p *Proc) park() {
-	p.env.parked[p] = struct{}{}
+	p.env.pushParked(p)
 	p.env.yield <- struct{}{}
 	<-p.resume
 	if p.env.terminated {
@@ -268,30 +411,19 @@ func (p *Proc) park() {
 
 // unpark schedules p to resume at the current virtual time.
 func (p *Proc) unpark() {
-	delete(p.env.parked, p)
-	p.env.schedule(p.env.now, func() {
-		p.resume <- struct{}{}
-		<-p.env.yield
-	})
+	p.env.removeParked(p)
+	p.env.scheduleWake(p.env.now, p)
 }
 
-// Sleep blocks the process for virtual duration d.
+// Sleep blocks the process for virtual duration d. The wake-up is a
+// pooled, closure-free timer event: steady-state sleeping allocates
+// nothing.
 func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	env := p.env
-	env.schedule(env.now.Add(d), func() {
-		delete(env.parked, p)
-		p.resume <- struct{}{}
-		<-env.yield
-	})
-	env.parked[p] = struct{}{}
-	env.yield <- struct{}{}
-	<-p.resume
-	if env.terminated {
-		panic(terminationSentinel{})
-	}
+	p.env.scheduleWake(p.env.now.Add(d), p)
+	p.park()
 }
 
 // Yield lets every other runnable process scheduled at the current time

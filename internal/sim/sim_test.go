@@ -463,3 +463,147 @@ func TestReopenBeforeDrainPanics(t *testing.T) {
 	}()
 	NewEnv().Reopen()
 }
+
+func TestCancelRevokesPendingTimer(t *testing.T) {
+	env := NewEnv()
+	fired := false
+	tm := env.AfterFunc(time.Second, func() { fired = true })
+	if !env.Cancel(tm) {
+		t.Fatal("Cancel of a pending timer returned false")
+	}
+	env.Run()
+	if fired {
+		t.Error("cancelled callback still ran")
+	}
+	// A second cancel of the same handle is a no-op.
+	if env.Cancel(tm) {
+		t.Error("double Cancel returned true")
+	}
+}
+
+func TestCancelAfterFireReturnsFalse(t *testing.T) {
+	env := NewEnv()
+	fired := 0
+	tm := env.AfterFunc(time.Second, func() { fired++ })
+	env.Run()
+	if fired != 1 {
+		t.Fatalf("callback ran %d times, want 1", fired)
+	}
+	if env.Cancel(tm) {
+		t.Error("Cancel after fire returned true")
+	}
+}
+
+// TestCancelStaleHandleDoesNotKillReusedEvent pins the pooled-event
+// generation guard: a handle whose event fired and was recycled into a
+// new timer must not cancel the new timer.
+func TestCancelStaleHandleDoesNotKillReusedEvent(t *testing.T) {
+	env := NewEnv()
+	stale := env.AfterFunc(time.Second, func() {})
+	env.Run()
+
+	env.Reopen()
+	fired := false
+	env.AfterFunc(time.Second, func() { fired = true })
+	if env.Cancel(stale) {
+		t.Error("stale handle cancelled something")
+	}
+	env.Run()
+	if !fired {
+		t.Error("stale Cancel revoked a reused event's callback")
+	}
+}
+
+func TestCancelZeroTimer(t *testing.T) {
+	if NewEnv().Cancel(Timer{}) {
+		t.Error("Cancel of zero Timer returned true")
+	}
+}
+
+// TestCancelInterleavedKeepsOrdering cancels one of three timers and
+// checks the survivors fire in timestamp order.
+func TestCancelInterleavedKeepsOrdering(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.AfterFunc(1*time.Second, func() { order = append(order, "a") })
+	b := env.AfterFunc(2*time.Second, func() { order = append(order, "b") })
+	env.AfterFunc(3*time.Second, func() { order = append(order, "c") })
+	if !env.Cancel(b) {
+		t.Fatal("Cancel failed")
+	}
+	env.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "c" {
+		t.Errorf("order = %v, want [a c]", order)
+	}
+}
+
+// TestHeapPopClearsIndex pins the invariant Cancel relies on: an event
+// leaving the heap must not keep a stale index.
+func TestHeapPopClearsIndex(t *testing.T) {
+	var h eventHeap
+	evs := []*event{{at: 1, seq: 1}, {at: 2, seq: 2}, {at: 3, seq: 3}}
+	for _, ev := range evs {
+		heap.Push(&h, ev)
+	}
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(*event)
+		if ev.index != -1 {
+			t.Fatalf("popped event seq %d kept heap index %d", ev.seq, ev.index)
+		}
+	}
+}
+
+// TestSleepSteadyStateAllocations pins the pooled, closure-free kernel
+// hot path: a full ping-pong workload (1000 sleeps across 4 processes)
+// must stay well under the ~2 allocations per sleep the closure-based
+// kernel paid. The budget covers environment construction, goroutine
+// stacks, and heap growth — not per-sleep garbage.
+func TestSleepSteadyStateAllocations(t *testing.T) {
+	allocs := testing.AllocsPerRun(3, func() {
+		env := NewEnv()
+		for i := 0; i < 4; i++ {
+			env.Go("p", func(p *Proc) {
+				for s := 0; s < 250; s++ {
+					p.Sleep(time.Millisecond)
+				}
+			})
+		}
+		env.Run()
+	})
+	if allocs > 200 {
+		t.Errorf("kernel workload allocated %.0f objects, want <= 200 (was ~2000 before event pooling)", allocs)
+	}
+}
+
+// TestEventPoolReuseAcrossReopen checks warm restarts reuse the free
+// list: a second identical round on a reopened environment should not
+// allocate per-event.
+func TestEventPoolReuseAcrossReopen(t *testing.T) {
+	env := NewEnv()
+	round := func() {
+		for i := 0; i < 100; i++ {
+			env.After(time.Duration(i)*time.Millisecond, func() {})
+		}
+		env.Run()
+	}
+	round()
+	env.Reopen()
+	allocs := testing.AllocsPerRun(1, func() {
+		round()
+		env.Reopen()
+	})
+	if allocs > 10 {
+		t.Errorf("reopened round allocated %.0f objects, want <= 10", allocs)
+	}
+}
+
+func TestCancelAcrossEnvironmentsPanics(t *testing.T) {
+	a, b := NewEnv(), NewEnv()
+	tm := a.AfterFunc(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic cancelling another environment's timer")
+		}
+	}()
+	b.Cancel(tm)
+}

@@ -93,14 +93,20 @@ func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already ascending-sorted sample,
+// so one sorted copy can feed several percentile lookups.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p < 0 {
 		p = 0
 	}
 	if p > 100 {
 		p = 100
 	}
-	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -150,17 +156,35 @@ type Summary struct {
 	P50, P95, P99 float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. It sorts one copy of the sample
+// and reads Min, Max, and every percentile off it — a single sort and a
+// single allocation, where summarizing field by field would copy and
+// sort the sample three times over.
 func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	m := Mean(xs)
+	var std float64
+	if n >= 2 {
+		var ss float64
+		for _, x := range xs {
+			ss += (x - m) * (x - m)
+		}
+		std = math.Sqrt(ss / float64(n))
+	}
 	return Summary{
-		N:    len(xs),
-		Mean: Mean(xs),
-		Std:  StdDev(xs),
-		Min:  Min(xs),
-		Max:  Max(xs),
-		P50:  Percentile(xs, 50),
-		P95:  Percentile(xs, 95),
-		P99:  Percentile(xs, 99),
+		N:    n,
+		Mean: m,
+		Std:  std,
+		Min:  sorted[0],
+		Max:  sorted[n-1],
+		P50:  percentileSorted(sorted, 50),
+		P95:  percentileSorted(sorted, 95),
+		P99:  percentileSorted(sorted, 99),
 	}
 }
 

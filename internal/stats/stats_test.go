@@ -170,3 +170,53 @@ func TestMinMax(t *testing.T) {
 		t.Error("empty Min/Max should be 0")
 	}
 }
+
+// TestSummarizeMatchesFieldwise pins the single-sort Summarize against
+// the independent field-by-field computations it replaced.
+func TestSummarizeMatchesFieldwise(t *testing.T) {
+	xs := []float64{4.2, 0.3, 9.9, 1.1, 1.1, 7.5, 3.3, 0.3, 8.8, 5.0, 2.2}
+	s := Summarize(xs)
+	if s.N != len(xs) {
+		t.Errorf("N = %d, want %d", s.N, len(xs))
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"Mean", s.Mean, Mean(xs)},
+		{"Std", s.Std, StdDev(xs)},
+		{"Min", s.Min, Min(xs)},
+		{"Max", s.Max, Max(xs)},
+		{"P50", s.P50, Percentile(xs, 50)},
+		{"P95", s.P95, Percentile(xs, 95)},
+		{"P99", s.P99, Percentile(xs, 99)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	// The input must come back unsorted — Summarize works on a copy.
+	if xs[0] != 4.2 || xs[len(xs)-1] != 2.2 {
+		t.Errorf("Summarize mutated its input: %v", xs)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero Summary", s)
+	}
+}
+
+// TestSummarizeSingleSortAllocation pins Summarize to one allocation:
+// the single sorted copy that feeds Min, Max, and all percentiles. The
+// fieldwise version paid three sorted copies.
+func TestSummarizeSingleSortAllocation(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64((i * 7919) % 1000)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { Summarize(xs) }); allocs > 1 {
+		t.Errorf("Summarize allocated %.1f objects/op, want <= 1 (one sorted copy)", allocs)
+	}
+}
