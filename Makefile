@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci bench
+.PHONY: all build test vet fmt-check ci bench race bench-experiments
 
 all: build
 
@@ -22,9 +22,20 @@ fmt-check:
 # ci is the tier-1 gate: formatting, vet, build, tests.
 ci: fmt-check vet build test
 
+# race runs the whole test suite under the race detector: the parallel
+# run engine (internal/runner, the experiments fan-out) must stay clean
+# here.
+race:
+	$(GO) test -race ./...
+
 # bench compiles and executes every benchmark exactly once (no test
 # functions), so the benchmark harness cannot rot. Compare against the
 # recorded baseline in BENCH_kernel.json before merging kernel or
 # scheduler changes.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-experiments reproduces the BENCH_experiments.json measurement:
+# the full experiment registry, sequential vs all cores.
+bench-experiments:
+	$(GO) test -bench BenchmarkAllExperiments -benchtime 3x -run '^$$' .

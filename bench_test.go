@@ -2,6 +2,7 @@ package coserve_test
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -60,6 +61,31 @@ func BenchmarkFigure19(b *testing.B) { benchExperiment(b, "fig19") }
 func BenchmarkExtEviction(b *testing.B)     { benchExperiment(b, "ext-evict") }
 func BenchmarkExtSSDSweep(b *testing.B)     { benchExperiment(b, "ext-ssd") }
 func BenchmarkExtArrivalSweep(b *testing.B) { benchExperiment(b, "ext-arrival") }
+
+// BenchmarkAllExperiments measures the full reproduction — every
+// registered experiment (paper figures, extensions, serve-*) on a fresh,
+// uncached context per iteration — sequentially and fanned out across
+// all cores through the parallel run engine. The wall-clock ratio of
+// the two sub-benchmarks is the speedup recorded in
+// BENCH_experiments.json; the outputs are byte-identical (asserted by
+// TestParallelOutputByteIdentical in internal/experiments).
+func BenchmarkAllExperiments(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := coserve.NewExperimentContext()
+				ctx.SetParallel(workers)
+				outs, err := coserve.RunExperiments(ctx, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(outs) != len(coserve.Experiments()) {
+					b.Fatalf("regenerated %d of %d experiments", len(outs), len(coserve.Experiments()))
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkTaskA1 measures one full, uncached Task A1 simulation per
 // system variant on the NUMA device and reports the achieved virtual

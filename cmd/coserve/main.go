@@ -6,7 +6,8 @@
 //
 //	coserve list                         # what can be reproduced
 //	coserve experiment fig13             # regenerate one figure
-//	coserve experiment all               # regenerate everything
+//	coserve experiment all               # regenerate everything, all cores
+//	coserve experiment -parallel 1 all   # fully sequential run (same tables)
 //	coserve experiment -cpuprofile cpu.out -memprofile mem.out fig13
 //	                                     # profile a hot-path regression
 //	coserve run -device numa -system coserve -task A1
@@ -18,10 +19,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"maps"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
+	"slices"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -71,7 +73,10 @@ func usage() {
 commands:
   list         list reproducible tables and figures
   experiment   regenerate a figure/table by id, or "all"
-               (-cpuprofile/-memprofile write pprof profiles of the run)
+               (-parallel N fans independent simulations across N workers;
+               tables are byte-identical at every worker count — only
+               fig19's wall-clock sched-cost cells vary run to run;
+               -cpuprofile/-memprofile write pprof profiles of the run)
   run          run one task under one serving system
   serve        serve an arrival stream (poisson, fixed, bursty, mix) with SLOs
   profile      run the offline profiler and print the performance matrix`)
@@ -90,11 +95,16 @@ func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker count for independent simulations (1 = fully sequential; tables are byte-identical at every setting, except fig19's wall-clock sched-cost cells which vary between any two runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("experiment needs one id (or \"all\"); see coserve list")
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("parallel must be at least 1")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -121,6 +131,7 @@ func cmdExperiment(args []string) error {
 		}()
 	}
 	ctx := coserve.NewExperimentContext()
+	ctx.SetParallel(*parallel)
 	ids := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
 		ids = nil
@@ -128,15 +139,22 @@ func cmdExperiment(args []string) error {
 			ids = append(ids, e.ID)
 		}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		out, err := coserve.RunExperiment(ctx, id)
-		if err != nil {
-			return err
+	start := time.Now()
+	outs, err := coserve.RunExperiments(ctx, ids)
+	// Every experiment runs regardless of sibling failures; print the
+	// tables that did regenerate before reporting what failed.
+	for _, out := range outs {
+		if out == "" {
+			continue
 		}
 		fmt.Print(out)
-		fmt.Printf("(%s regenerated in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Println()
 	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(%d experiment(s) regenerated in %v on %d worker(s))\n",
+		len(ids), time.Since(start).Round(time.Millisecond), ctx.Parallel())
 	return nil
 }
 
@@ -165,11 +183,7 @@ func cmdRun(args []string) error {
 	}
 	variant, ok := systemsByName()[*sysName]
 	if !ok {
-		names := make([]string, 0)
-		for name := range systemsByName() {
-			names = append(names, name)
-		}
-		sort.Strings(names)
+		names := slices.Sorted(maps.Keys(systemsByName()))
 		return fmt.Errorf("unknown system %q (known: %s)", *sysName, strings.Join(names, ", "))
 	}
 

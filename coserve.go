@@ -252,9 +252,23 @@ func RunExperiment(ctx *ExperimentContext, id string) (string, error) {
 	return tb.Render(), nil
 }
 
+// RunExperiments regenerates several experiments (every registered one
+// when ids is nil), fanning independent experiments out across the
+// context's worker pool; rendered tables return in ID order regardless
+// of execution order, so the output is byte-identical at every worker
+// count. Pass nil for a fresh context.
+func RunExperiments(ctx *ExperimentContext, ids []string) ([]string, error) {
+	if ctx == nil {
+		ctx = experiments.NewContext()
+	}
+	return experiments.RunAll(ctx, ids)
+}
+
 // ExperimentContext caches boards, performance matrices, and task runs
-// across experiments.
+// across experiments. It is safe for concurrent use; SetParallel bounds
+// the worker pool its sweeps (and RunExperiments) fan out on.
 type ExperimentContext = experiments.Context
 
-// NewExperimentContext returns an empty experiment cache.
+// NewExperimentContext returns an empty experiment cache running sweeps
+// on up to runtime.GOMAXPROCS(0) workers.
 func NewExperimentContext() *ExperimentContext { return experiments.NewContext() }

@@ -10,8 +10,9 @@
 package coe
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/model"
 )
@@ -106,11 +107,11 @@ func (m *Model) TotalWeightBytes() int64 {
 // initialization (§4.1) and the usage CDF (§4.4).
 func (m *Model) ExpertsByUsage() []*Expert {
 	out := append([]*Expert(nil), m.experts...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].UsageProb != out[j].UsageProb {
-			return out[i].UsageProb > out[j].UsageProb
-		}
-		return out[i].ID < out[j].ID
+	slices.SortStableFunc(out, func(a, b *Expert) int {
+		return cmp.Or(
+			cmp.Compare(b.UsageProb, a.UsageProb),
+			cmp.Compare(a.ID, b.ID),
+		)
 	})
 	return out
 }

@@ -2,7 +2,8 @@ package coe
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 )
 
 // Rule is a user-defined routing rule for one input class (§4.5,
@@ -33,12 +34,7 @@ func (r *RuleRouter) Rule(class int) (Rule, bool) {
 
 // Classes returns all classes with rules, in ascending order.
 func (r *RuleRouter) Classes() []int {
-	out := make([]int, 0, len(r.rules))
-	for c := range r.rules {
-		out = append(out, c)
-	}
-	sort.Ints(out)
-	return out
+	return slices.Sorted(maps.Keys(r.rules))
 }
 
 // Route returns the expert chain for one request of the given class.
@@ -73,7 +69,7 @@ func ComputeUsage(m *Model, classProbs map[int]float64) error {
 	for class := range classProbs {
 		classes = append(classes, class)
 	}
-	sort.Ints(classes)
+	slices.Sort(classes)
 	for _, class := range classes {
 		p := classProbs[class]
 		if p < 0 {

@@ -3,18 +3,27 @@
 // 13–19 and Table 1). Each experiment is a named, deterministic function
 // returning a printable table; the CLI (cmd/coserve) and the benchmark
 // harness (bench_test.go) both run through this registry.
+//
+// Sweep points — the (device, batch size, policy, executor count, …)
+// grid cells behind each table — are independent simulations, and the
+// package fans them out across a bounded worker pool (internal/runner).
+// Results are collected in submission order and every simulation owns
+// its environment and seed-derived RNG, so the rendered tables are
+// byte-identical at every worker count; Context.SetParallel(1) restores
+// a fully sequential run.
 package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"text/tabwriter"
+	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/profiler"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -35,7 +44,7 @@ func (t *Table) Render() string {
 	fmt.Fprintln(w, strings.Join(t.Columns, "\t"))
 	dashes := make([]string, len(t.Columns))
 	for i, c := range t.Columns {
-		dashes[i] = strings.Repeat("-", len(c))
+		dashes[i] = strings.Repeat("-", utf8.RuneCountInString(c))
 	}
 	fmt.Fprintln(w, strings.Join(dashes, "\t"))
 	for _, row := range t.Rows {
@@ -102,16 +111,43 @@ func IDs() []string {
 	return ids
 }
 
+// RunAll regenerates the experiments with the given IDs (every
+// registered experiment when ids is nil), fanning independent
+// experiments out across the context's worker pool. Rendered tables
+// return in ID order regardless of execution order, so the concatenated
+// output is byte-identical at every worker count.
+func RunAll(ctx *Context, ids []string) ([]string, error) {
+	if ids == nil {
+		ids = IDs()
+	}
+	return runner.Sweep(ctx.par, ids, func(_ int, id string) (string, error) {
+		e, err := ByID(id)
+		if err != nil {
+			return "", err
+		}
+		tb, err := e.Run(ctx)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", id, err)
+		}
+		return tb.Render(), nil
+	})
+}
+
 // Context caches the expensive shared state — boards, profiled
-// performance matrices, the evaluation grid of task runs, and the
-// offline-search results — so the figure set can be regenerated in one
-// process without repeating work. A Context is not safe for concurrent
-// use.
+// performance matrices, the evaluation grid of task runs, batch-size
+// microbenchmark sweeps, and the offline-search results — so the figure
+// set can be regenerated in one process without repeating work. A
+// Context is safe for concurrent use: each cache key is built exactly
+// once (concurrent requesters block on the single builder and share its
+// result), which is what lets parallel sweep points share one offline
+// phase instead of recomputing or racing on it.
 type Context struct {
-	boards map[string]*workload.Board
-	perf   map[string]model.PerfMatrix
-	grid   map[gridKey]*core.Report
-	best   map[string]bestChoice
+	par    *runner.Pool
+	boards runner.Memo[string, *workload.Board]
+	perf   runner.Memo[string, model.PerfMatrix]
+	grid   runner.Memo[gridKey, *core.Report]
+	best   runner.Memo[string, bestChoice]
+	sweeps runner.Memo[string, [][]profiler.BatchPoint]
 }
 
 type gridKey struct {
@@ -121,15 +157,19 @@ type gridKey struct {
 	best    bool
 }
 
-// NewContext returns an empty cache.
+// NewContext returns an empty cache whose sweeps fan out across
+// runtime.GOMAXPROCS(0) workers; SetParallel adjusts the bound.
 func NewContext() *Context {
-	return &Context{
-		boards: make(map[string]*workload.Board),
-		perf:   make(map[string]model.PerfMatrix),
-		grid:   make(map[gridKey]*core.Report),
-		best:   make(map[string]bestChoice),
-	}
+	return &Context{par: runner.New(0)}
 }
+
+// SetParallel bounds the worker count used for sweep fan-out (n <= 0
+// means runtime.GOMAXPROCS(0); 1 runs fully sequentially). The rendered
+// tables are byte-identical at every setting.
+func (c *Context) SetParallel(n int) { c.par = runner.New(n) }
+
+// Parallel reports the context's worker bound.
+func (c *Context) Parallel() int { return c.par.Workers() }
 
 // evalArchs are the architectures the evaluation uses (§5.1).
 var evalArchs = []model.Architecture{model.ResNet101, model.YOLOv5m, model.YOLOv5l}
@@ -141,28 +181,14 @@ func devices() []*hw.Device {
 
 // Board returns the memoized board for a spec.
 func (c *Context) Board(spec workload.BoardSpec) (*workload.Board, error) {
-	if b, ok := c.boards[spec.Name]; ok {
-		return b, nil
-	}
-	b, err := spec.Build()
-	if err != nil {
-		return nil, err
-	}
-	c.boards[spec.Name] = b
-	return b, nil
+	return c.boards.Do(spec.Name, spec.Build)
 }
 
 // Perf returns the memoized offline performance matrix for a device.
 func (c *Context) Perf(dev *hw.Device) (model.PerfMatrix, error) {
-	if pm, ok := c.perf[dev.Name]; ok {
-		return pm, nil
-	}
-	pm, err := profiler.Matrix(dev, evalArchs)
-	if err != nil {
-		return nil, err
-	}
-	c.perf[dev.Name] = pm
-	return pm, nil
+	return c.perf.Do(dev.Name, func() (model.PerfMatrix, error) {
+		return profiler.Matrix(dev, evalArchs)
+	})
 }
 
 // tasks returns the four evaluation tasks over the two boards.
@@ -194,25 +220,21 @@ func sampleTask(b *workload.Board) workload.Task {
 }
 
 // run executes (and memoizes) one task under one system configuration.
+// Each execution builds its own System and simulation environment, so
+// distinct keys may run concurrently.
 func (c *Context) run(dev *hw.Device, v core.Variant, task workload.Task, useBest bool) (*core.Report, error) {
 	key := gridKey{dev: dev.Name, variant: v, task: task.Name + "/" + task.Board.Spec.Name, best: useBest}
-	if rep, ok := c.grid[key]; ok {
-		return rep, nil
-	}
-	cfg, err := c.configFor(dev, v, task.Board, useBest)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := core.NewSystem(cfg, task.Board.Model)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := sys.RunTask(task)
-	if err != nil {
-		return nil, err
-	}
-	c.grid[key] = rep
-	return rep, nil
+	return c.grid.Do(key, func() (*core.Report, error) {
+		cfg, err := c.configFor(dev, v, task.Board, useBest)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.NewSystem(cfg, task.Board.Model)
+		if err != nil {
+			return nil, err
+		}
+		return sys.RunTask(task)
+	})
 }
 
 // configFor assembles the configuration a variant runs under: Samba
@@ -251,101 +273,140 @@ type bestChoice struct {
 
 // Best runs (and memoizes) the offline configuration search: the
 // executor-count sweep of Figure 17 followed by the decay-window memory
-// search of §4.4/Figure 18, both on the sample dataset.
+// search of §4.4/Figure 18, both on the sample dataset. The
+// executor-count phase measures independent topologies, so its points
+// run through the worker pool; the decay-window slide is adaptive (each
+// boundary depends on the previous measurements) and stays sequential.
 func (c *Context) Best(dev *hw.Device, board *workload.Board) (bestChoice, error) {
 	key := dev.Name + "/" + board.Spec.Name
-	if b, ok := c.best[key]; ok {
-		return b, nil
-	}
-	pm, err := c.Perf(dev)
-	if err != nil {
-		return bestChoice{}, err
-	}
-	task := sampleTask(board)
+	return c.best.Do(key, func() (bestChoice, error) {
+		pm, err := c.Perf(dev)
+		if err != nil {
+			return bestChoice{}, err
+		}
+		task := sampleTask(board)
 
-	topoRunner := func(g, cp int) (float64, error) {
-		cfg := core.Config{
-			Device: dev, Variant: core.CoServe,
-			GPUExecutors: g, CPUExecutors: cp,
-			Alloc: core.CasualAllocation(dev, pm, g, cp), Perf: pm,
+		topoRunner := func(g, cp int) (float64, error) {
+			cfg := core.Config{
+				Device: dev, Variant: core.CoServe,
+				GPUExecutors: g, CPUExecutors: cp,
+				Alloc: core.CasualAllocation(dev, pm, g, cp), Perf: pm,
+			}
+			sys, err := core.NewSystem(cfg, board.Model)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := sys.RunTask(task)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Throughput, nil
 		}
-		sys, err := core.NewSystem(cfg, board.Model)
+		// Paper sweep: 1..5 GPU executors with one CPU executor, then the
+		// best GPU count with two. The phase-1 points are independent
+		// simulations: measure them in parallel, then feed the memoized
+		// throughputs back through TopologySweep (which consumes configs
+		// in order), so point building and tie-breaking stay in one
+		// place.
+		phase1 := [][2]int{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}}
+		tps, err := runner.Sweep(c.par, phase1, func(_ int, cfg [2]int) (float64, error) {
+			return topoRunner(cfg[0], cfg[1])
+		})
 		if err != nil {
-			return 0, err
+			return bestChoice{}, fmt.Errorf("profiler: topology sweep: %w", err)
 		}
-		rep, err := sys.RunTask(task)
+		next := 0
+		points, bestIdx, err := profiler.TopologySweep(phase1, func(g, cp int) (float64, error) {
+			if next >= len(phase1) || g != phase1[next][0] || cp != phase1[next][1] {
+				return 0, fmt.Errorf("experiments: topology replay out of sync at %dG+%dC", g, cp)
+			}
+			tp := tps[next]
+			next++
+			return tp, nil
+		})
 		if err != nil {
-			return 0, err
+			return bestChoice{}, err
 		}
-		return rep.Throughput, nil
-	}
-	// Paper sweep: 1..5 GPU executors with one CPU executor, then the
-	// best GPU count with two.
-	phase1 := [][2]int{{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}}
-	points, bestIdx, err := profiler.TopologySweep(phase1, topoRunner)
-	if err != nil {
-		return bestChoice{}, err
-	}
-	bestG := points[bestIdx].GPUs
-	more, _, err := profiler.TopologySweep([][2]int{{bestG, 2}}, topoRunner)
-	if err != nil {
-		return bestChoice{}, err
-	}
-	points = append(points, more...)
-	gBest, cBest, tpBest := points[0].GPUs, points[0].CPUs, points[0].Throughput
-	for _, p := range points {
-		if p.Throughput > tpBest {
-			gBest, cBest, tpBest = p.GPUs, p.CPUs, p.Throughput
+		bestG := points[bestIdx].GPUs
+		more, _, err := profiler.TopologySweep([][2]int{{bestG, 2}}, topoRunner)
+		if err != nil {
+			return bestChoice{}, err
 		}
-	}
+		points = append(points, more...)
+		gBest, cBest, tpBest := points[0].GPUs, points[0].CPUs, points[0].Throughput
+		for _, p := range points {
+			if p.Throughput > tpBest {
+				gBest, cBest, tpBest = p.GPUs, p.CPUs, p.Throughput
+			}
+		}
 
-	maxExperts := core.MaxGPUExperts(dev, pm, gBest, cBest, evalArchs)
-	params := profiler.DefaultSearchParams(maxExperts)
-	// The per-pool floor: each GPU pool must hold two largest experts.
-	minExperts := 3 * gBest
-	search, err := profiler.DecayWindow(params, func(n int) (float64, error) {
-		if n < minExperts {
-			n = minExperts
-		}
-		cfg := core.Config{
-			Device: dev, Variant: core.CoServe,
-			GPUExecutors: gBest, CPUExecutors: cBest,
-			Alloc: core.AllocationForExperts(dev, pm, n, gBest, cBest), Perf: pm,
-		}
-		sys, err := core.NewSystem(cfg, board.Model)
+		maxExperts := core.MaxGPUExperts(dev, pm, gBest, cBest, evalArchs)
+		params := profiler.DefaultSearchParams(maxExperts)
+		// The per-pool floor: each GPU pool must hold two largest experts.
+		minExperts := 3 * gBest
+		search, err := profiler.DecayWindow(params, func(n int) (float64, error) {
+			if n < minExperts {
+				n = minExperts
+			}
+			cfg := core.Config{
+				Device: dev, Variant: core.CoServe,
+				GPUExecutors: gBest, CPUExecutors: cBest,
+				Alloc: core.AllocationForExperts(dev, pm, n, gBest, cBest), Perf: pm,
+			}
+			sys, err := core.NewSystem(cfg, board.Model)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := sys.RunTask(task)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Throughput, nil
+		})
 		if err != nil {
-			return 0, err
+			return bestChoice{}, err
 		}
-		rep, err := sys.RunTask(task)
-		if err != nil {
-			return 0, err
+		selected := search.Selected
+		if selected < minExperts {
+			selected = minExperts
 		}
-		return rep.Throughput, nil
+		return bestChoice{
+			gpus: gBest, cpus: cBest,
+			alloc:  core.AllocationForExperts(dev, pm, selected, gBest, cBest),
+			search: search,
+			topo:   points,
+		}, nil
 	})
-	if err != nil {
-		return bestChoice{}, err
-	}
-	selected := search.Selected
-	if selected < minExperts {
-		selected = minExperts
-	}
-	choice := bestChoice{
-		gpus: gBest, cpus: cBest,
-		alloc:  core.AllocationForExperts(dev, pm, selected, gBest, cBest),
-		search: search,
-		topo:   points,
-	}
-	c.best[key] = choice
-	return choice, nil
 }
 
-// sortedKeys is a small helper for deterministic map iteration in
-// rendering code.
-func sortedKeys[M ~map[string]V, V any](m M) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// gridRows fans one job per (device, task) row through the context's
+// worker pool: each job runs the given systems in order against its
+// row's task and formats the row. Rows come back in device-major,
+// task-minor order — exactly the sequential iteration order.
+func gridRows(ctx *Context, systems []evalSystem, format func(dev *hw.Device, task workload.Task, reps []*core.Report) []string) ([][]string, error) {
+	tasks, err := ctx.tasks()
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(keys)
-	return keys
+	type rowJob struct {
+		dev  *hw.Device
+		task workload.Task
+	}
+	var jobs []rowJob
+	for _, dev := range devices() {
+		for _, task := range tasks {
+			jobs = append(jobs, rowJob{dev, task})
+		}
+	}
+	return runner.Sweep(ctx.par, jobs, func(_ int, j rowJob) ([]string, error) {
+		reps := make([]*core.Report, len(systems))
+		for i, s := range systems {
+			rep, err := ctx.run(j.dev, s.variant, j.task, s.best)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%s: %w", j.dev.Name, j.task.Name, s.label, err)
+			}
+			reps[i] = rep
+		}
+		return format(j.dev, j.task, reps), nil
+	})
 }

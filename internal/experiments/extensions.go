@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/pool"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -48,7 +49,7 @@ func (c *Context) runCoServeWith(dev *hw.Device, task workload.Task, mutate func
 
 // ExtEviction isolates the two-stage eviction design (§4.3): full
 // CoServe with LRU, probability-only, and two-stage dependency-aware
-// eviction on the same task.
+// eviction on the same task. Each (device, policy) cell is one job.
 func ExtEviction(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "ext-evict",
@@ -65,27 +66,39 @@ func ExtEviction(ctx *Context) (*Table, error) {
 	}
 	task := workload.TaskA1(board)
 	policies := []pool.Policy{pool.LRU{}, pool.ProbOnly{}, pool.DepAware{}}
+	type cellJob struct {
+		dev    *hw.Device
+		policy pool.Policy
+	}
+	var jobs []cellJob
 	for _, dev := range devices() {
 		for _, p := range policies {
-			p := p
-			rep, err := ctx.runCoServeWith(dev, task, func(cfg *core.Config) { cfg.EvictPolicy = p })
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				dev.Mem.String(), p.Name(),
-				fmt.Sprintf("%.1f", rep.Throughput),
-				fmt.Sprintf("%d", rep.Switches),
-				fmt.Sprintf("%d", rep.Evictions),
-			})
+			jobs = append(jobs, cellJob{dev, p})
 		}
 	}
+	rows, err := runner.Sweep(ctx.par, jobs, func(_ int, j cellJob) ([]string, error) {
+		rep, err := ctx.runCoServeWith(j.dev, task, func(cfg *core.Config) { cfg.EvictPolicy = j.policy })
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			j.dev.Mem.String(), j.policy.Name(),
+			fmt.Sprintf("%.1f", rep.Throughput),
+			fmt.Sprintf("%d", rep.Switches),
+			fmt.Sprintf("%d", rep.Evictions),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // ExtSSDSweep sweeps the storage/deserialization speed: the paper's
 // NUMA SSD (530 MB/s read, 250 MB/s deserialize) scaled by factors,
-// showing how much of CoServe's advantage survives faster storage.
+// showing how much of CoServe's advantage survives faster storage. Each
+// speed factor is one job owning its own scaled device profile.
 func ExtSSDSweep(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "ext-ssd",
@@ -101,7 +114,8 @@ func ExtSSDSweep(ctx *Context) (*Table, error) {
 		return nil, err
 	}
 	task := workload.TaskA1(board)
-	for _, factor := range []float64{0.5, 1, 2, 4, 8} {
+	factors := []float64{0.5, 1, 2, 4, 8}
+	rows, err := runner.Sweep(ctx.par, factors, func(_ int, factor float64) ([]string, error) {
 		dev := hw.NUMADevice()
 		dev.Name = fmt.Sprintf("numa-x%g", factor)
 		dev.SSDReadBW *= factor
@@ -127,19 +141,24 @@ func ExtSSDSweep(ctx *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%gx", factor),
 			fmt.Sprintf("%.1f", sambaRep.Throughput),
 			fmt.Sprintf("%.1f", cosRep.Throughput),
 			fmt.Sprintf("%.1fx", cosRep.Throughput/sambaRep.Throughput),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 
 // ExtArrivalSweep sweeps the request arrival period around the paper's
 // 4 ms: CoServe's grouping opportunities depend on queue depth, so
-// slower arrivals (shallower queues) shrink its advantage.
+// slower arrivals (shallower queues) shrink its advantage. Each period
+// is one job.
 func ExtArrivalSweep(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "ext-arrival",
@@ -153,21 +172,26 @@ func ExtArrivalSweep(ctx *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, period := range []time.Duration{
+	periods := []time.Duration{
 		time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond, 64 * time.Millisecond,
-	} {
+	}
+	rows, err := runner.Sweep(ctx.par, periods, func(_ int, period time.Duration) ([]string, error) {
 		task := workload.TaskA1(board)
 		task.ArrivalPeriod = period
 		rep, err := ctx.runCoServeWith(hw.NUMADevice(), task, nil)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			period.String(),
 			fmt.Sprintf("%.1f", rep.Throughput),
 			fmt.Sprintf("%d", rep.Switches),
 			fmt.Sprintf("%.1fs", rep.Latency.P95),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/model"
 	"repro/internal/profiler"
+	"repro/internal/runner"
 	"repro/internal/xfer"
 )
 
@@ -69,6 +70,26 @@ const msRound = 100 * 1000 // 0.1ms in ns
 // batchSizes is the sweep reported for Figures 5, 6 and 12.
 var batchSizes = []int{1, 2, 4, 6, 8, 12, 16, 20, 24, 28, 32}
 
+// batchSweeps runs (and memoizes) the Figure 5/6/12 microbenchmark for
+// an architecture in column order NUMA GPU, UMA GPU, NUMA CPU, UMA CPU.
+// Each of the four sweeps simulates in its own environment, so they run
+// through the worker pool.
+func (c *Context) batchSweeps(arch model.Architecture) ([][]profiler.BatchPoint, error) {
+	type procPoint struct {
+		dev  *hw.Device
+		kind hw.ProcKind
+	}
+	return c.sweeps.Do(arch.Name, func() ([][]profiler.BatchPoint, error) {
+		numa, uma := hw.NUMADevice(), hw.UMADevice()
+		points := []procPoint{
+			{numa, hw.GPU}, {uma, hw.GPU}, {numa, hw.CPU}, {uma, hw.CPU},
+		}
+		return runner.Sweep(c.par, points, func(_ int, p procPoint) ([]profiler.BatchPoint, error) {
+			return profiler.BatchSweep(p.dev, arch, p.kind, 32), nil
+		})
+	})
+}
+
 // Figure5 reproduces average inference latency vs batch size on GPU and
 // CPU for both devices (ResNet101 workload).
 func Figure5(ctx *Context) (*Table, error) {
@@ -81,7 +102,10 @@ func Figure5(ctx *Context) (*Table, error) {
 			"interior optimum on CPU (§3.3): NUMA/UMA CPU worsen beyond small batches",
 		},
 	}
-	sweeps := batchSweeps(model.ResNet101)
+	sweeps, err := ctx.batchSweeps(model.ResNet101)
+	if err != nil {
+		return nil, err
+	}
 	for _, n := range batchSizes {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, s := range sweeps {
@@ -102,7 +126,10 @@ func Figure6(ctx *Context) (*Table, error) {
 			"activation GB for a ResNet101 batch; §3.3: one extra NUMA-GPU image ≈ 1.5 experts",
 		},
 	}
-	sweeps := batchSweeps(model.ResNet101)
+	sweeps, err := ctx.batchSweeps(model.ResNet101)
+	if err != nil {
+		return nil, err
+	}
 	for _, n := range batchSizes {
 		row := []string{fmt.Sprintf("%d", n)}
 		for _, s := range sweeps {
@@ -114,7 +141,9 @@ func Figure6(ctx *Context) (*Table, error) {
 }
 
 // Figure12 reproduces whole-batch execution latency growth for
-// ResNet101 and YOLOv5m.
+// ResNet101 and YOLOv5m. Its eight columns reuse the memoized per-
+// architecture sweeps (shared with Figures 5/6), reordered from the
+// sweep's device-major layout to the header's.
 func Figure12(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:    "fig12",
@@ -128,37 +157,28 @@ func Figure12(ctx *Context) (*Table, error) {
 		},
 		Notes: []string{"values in ms; paper: linear K·n + B growth, CPU well above GPU"},
 	}
-	type sweep = []profiler.BatchPoint
-	var cols []sweep
-	for _, dev := range devices() {
-		for _, kind := range []hw.ProcKind{hw.GPU, hw.CPU} {
-			for _, arch := range []model.Architecture{model.ResNet101, model.YOLOv5m} {
-				cols = append(cols, profiler.BatchSweep(dev, arch, kind, 32))
-			}
-		}
+	rn, err := ctx.batchSweeps(model.ResNet101)
+	if err != nil {
+		return nil, err
 	}
-	// Column order above is device-major; reorder rows to the header.
-	order := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	ym, err := ctx.batchSweeps(model.YOLOv5m)
+	if err != nil {
+		return nil, err
+	}
+	// batchSweeps order is NUMA GPU, UMA GPU, NUMA CPU, UMA CPU; the
+	// header wants device-major, then processor, then architecture.
+	cols := [][]profiler.BatchPoint{
+		rn[0], ym[0], rn[2], ym[2],
+		rn[1], ym[1], rn[3], ym[3],
+	}
 	for _, n := range batchSizes {
 		row := []string{fmt.Sprintf("%d", n)}
-		for _, i := range order {
-			row = append(row, fmt.Sprintf("%.1f", float64(cols[i][n-1].Exec.Microseconds())/1000))
+		for _, col := range cols {
+			row = append(row, fmt.Sprintf("%.1f", float64(col[n-1].Exec.Microseconds())/1000))
 		}
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
-}
-
-// batchSweeps runs the Figure 5/6 sweep in column order NUMA GPU, UMA
-// GPU, NUMA CPU, UMA CPU.
-func batchSweeps(arch model.Architecture) [][]profiler.BatchPoint {
-	numa, uma := hw.NUMADevice(), hw.UMADevice()
-	return [][]profiler.BatchPoint{
-		profiler.BatchSweep(numa, arch, hw.GPU, 32),
-		profiler.BatchSweep(uma, arch, hw.GPU, 32),
-		profiler.BatchSweep(numa, arch, hw.CPU, 32),
-		profiler.BatchSweep(uma, arch, hw.CPU, 32),
-	}
 }
 
 // Figure11 reproduces the cumulative distribution of expert usage for

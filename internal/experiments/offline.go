@@ -5,11 +5,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
 // Figure17 reproduces the executor-count sweep ("Measurement A/B" run a
-// portion of the board data offline, §5.3).
+// portion of the board data offline, §5.3). The four (device,
+// measurement) searches are independent, so each row is one job.
 func Figure17(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "fig17",
@@ -21,29 +24,44 @@ func Figure17(ctx *Context) (*Table, error) {
 	}
 	specs := []workload.BoardSpec{workload.BoardA(), workload.BoardB()}
 	labels := []string{"Measurement A", "Measurement B"}
+	type rowJob struct {
+		dev   *hw.Device
+		spec  workload.BoardSpec
+		label string
+	}
+	var jobs []rowJob
 	for _, dev := range devices() {
 		for i, spec := range specs {
-			board, err := ctx.Board(spec)
-			if err != nil {
-				return nil, err
-			}
-			best, err := ctx.Best(dev, board)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{dev.Mem.String(), labels[i]}
-			for _, p := range best.topo {
-				row = append(row, fmt.Sprintf("%.1f (%dG+%dC)", p.Throughput, p.GPUs, p.CPUs))
-			}
-			t.Rows = append(t.Rows, row)
+			jobs = append(jobs, rowJob{dev, spec, labels[i]})
 		}
 	}
+	rows, err := runner.Sweep(ctx.par, jobs, func(_ int, j rowJob) ([]string, error) {
+		board, err := ctx.Board(j.spec)
+		if err != nil {
+			return nil, err
+		}
+		best, err := ctx.Best(j.dev, board)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{j.dev.Mem.String(), j.label}
+		for _, p := range best.topo {
+			row = append(row, fmt.Sprintf("%.1f (%dG+%dC)", p.Throughput, p.GPUs, p.CPUs))
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // Figure18 reproduces the decay-window memory-allocation search on the
 // NUMA GPU: throughput at each window boundary, the selected window, and
-// the chosen expert count.
+// the chosen expert count. The two measurements' searches run in
+// parallel; each search itself slides sequentially (every window
+// boundary depends on the previous measurements).
 func Figure18(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "fig18",
@@ -57,7 +75,7 @@ func Figure18(ctx *Context) (*Table, error) {
 	dev := devices()[0] // NUMA, as in the paper
 	specs := []workload.BoardSpec{workload.BoardA(), workload.BoardB()}
 	labels := []string{"Measurement A", "Measurement B"}
-	for i, spec := range specs {
+	groups, err := runner.Sweep(ctx.par, specs, func(i int, spec workload.BoardSpec) ([][]string, error) {
 		board, err := ctx.Board(spec)
 		if err != nil {
 			return nil, err
@@ -66,6 +84,7 @@ func Figure18(ctx *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows [][]string
 		for j, p := range best.search.Points {
 			row := []string{labels[i], fmt.Sprintf("%d", p.Experts), fmt.Sprintf("%.1f", p.Throughput), "", "", ""}
 			if j == len(best.search.Points)-1 {
@@ -73,8 +92,15 @@ func Figure18(ctx *Context) (*Table, error) {
 				row[4] = fmt.Sprintf("%d", best.search.Selected)
 				row[5] = fmt.Sprintf("%.1f%%", best.search.Deviation*100)
 			}
-			t.Rows = append(t.Rows, row)
+			rows = append(rows, row)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range groups {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -82,7 +108,8 @@ func Figure18(ctx *Context) (*Table, error) {
 // Figure19 reproduces the overhead analysis: the wall-clock cost of one
 // scheduling decision vs the virtual per-stage inference latency, and
 // the pre-scheduled control run that executes the same order with zero
-// online scheduling.
+// online scheduling. Each (device, task) pair is one job; within a job
+// the replay run necessarily follows the online run it replays.
 func Figure19(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "fig19",
@@ -97,47 +124,59 @@ func Figure19(ctx *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	type rowJob struct {
+		dev  *hw.Device
+		task workload.Task
+	}
+	var jobs []rowJob
 	for _, dev := range devices() {
 		for _, task := range tasks {
 			if task.Name != "A2" && task.Name != "B2" {
 				continue
 			}
-			online, err := ctx.run(dev, core.CoServe, task, false)
-			if err != nil {
-				return nil, err
-			}
-			pm, err := ctx.Perf(dev)
-			if err != nil {
-				return nil, err
-			}
-			g, cp := core.DefaultExecutors(dev)
-			cfg := core.Config{
-				Device: dev, Variant: core.CoServe,
-				GPUExecutors: g, CPUExecutors: cp,
-				Alloc: core.CasualAllocation(dev, pm, g, cp),
-				Perf:  pm, PreschedPicks: online.Picks,
-			}
-			sys, err := core.NewSystem(cfg, task.Board.Model)
-			if err != nil {
-				return nil, err
-			}
-			presched, err := sys.RunTask(task)
-			if err != nil {
-				return nil, err
-			}
-			gap := 0.0
-			if presched.Throughput > 0 {
-				gap = (presched.Throughput - online.Throughput) / presched.Throughput
-			}
-			t.Rows = append(t.Rows, []string{
-				dev.Mem.String(), task.Name,
-				online.SchedPerOp.Round(10 * time.Nanosecond).String(),
-				online.InferPerStage.Round(100 * time.Microsecond).String(),
-				fmt.Sprintf("%.1f", online.Throughput),
-				fmt.Sprintf("%.1f", presched.Throughput),
-				fmt.Sprintf("%.2f%%", gap*100),
-			})
+			jobs = append(jobs, rowJob{dev, task})
 		}
 	}
+	rows, err := runner.Sweep(ctx.par, jobs, func(_ int, j rowJob) ([]string, error) {
+		online, err := ctx.run(j.dev, core.CoServe, j.task, false)
+		if err != nil {
+			return nil, err
+		}
+		pm, err := ctx.Perf(j.dev)
+		if err != nil {
+			return nil, err
+		}
+		g, cp := core.DefaultExecutors(j.dev)
+		cfg := core.Config{
+			Device: j.dev, Variant: core.CoServe,
+			GPUExecutors: g, CPUExecutors: cp,
+			Alloc: core.CasualAllocation(j.dev, pm, g, cp),
+			Perf:  pm, PreschedPicks: online.Picks,
+		}
+		sys, err := core.NewSystem(cfg, j.task.Board.Model)
+		if err != nil {
+			return nil, err
+		}
+		presched, err := sys.RunTask(j.task)
+		if err != nil {
+			return nil, err
+		}
+		gap := 0.0
+		if presched.Throughput > 0 {
+			gap = (presched.Throughput - online.Throughput) / presched.Throughput
+		}
+		return []string{
+			j.dev.Mem.String(), j.task.Name,
+			online.SchedPerOp.Round(10 * time.Nanosecond).String(),
+			online.InferPerStage.Round(100 * time.Microsecond).String(),
+			fmt.Sprintf("%.1f", online.Throughput),
+			fmt.Sprintf("%.1f", presched.Throughput),
+			fmt.Sprintf("%.2f%%", gap*100),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/hw"
 	"repro/internal/workload"
 )
 
@@ -30,7 +31,9 @@ func figure13Systems() []evalSystem {
 }
 
 // Figure13 reproduces throughput of CoServe and the baselines across
-// the four tasks on both devices.
+// the four tasks on both devices. Each (device, task) row is an
+// independent job; the five systems of a row share the context's
+// memoized evaluation grid with Figures 14–16.
 func Figure13(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "fig13",
@@ -41,30 +44,21 @@ func Figure13(ctx *Context) (*Table, error) {
 			"paper: Casual trails Best by 5.7%–18.8%",
 		},
 	}
-	tasks, err := ctx.tasks()
+	rows, err := gridRows(ctx, figure13Systems(), func(dev *hw.Device, task workload.Task, reps []*core.Report) []string {
+		row := []string{dev.Mem.String(), task.Name}
+		for _, rep := range reps {
+			row = append(row, fmt.Sprintf("%.1f", rep.Throughput))
+		}
+		best := reps[3].Throughput
+		return append(row,
+			fmt.Sprintf("%.1f×", best/reps[0].Throughput),
+			fmt.Sprintf("%.1f×", best/reps[1].Throughput),
+			fmt.Sprintf("%.1f×", best/reps[2].Throughput))
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, dev := range devices() {
-		for _, task := range tasks {
-			row := []string{dev.Mem.String(), task.Name}
-			var tps []float64
-			for _, s := range figure13Systems() {
-				rep, err := ctx.run(dev, s.variant, task, s.best)
-				if err != nil {
-					return nil, fmt.Errorf("%s/%s/%s: %w", dev.Name, task.Name, s.label, err)
-				}
-				tps = append(tps, rep.Throughput)
-				row = append(row, fmt.Sprintf("%.1f", rep.Throughput))
-			}
-			best := tps[3]
-			row = append(row,
-				fmt.Sprintf("%.1f×", best/tps[0]),
-				fmt.Sprintf("%.1f×", best/tps[1]),
-				fmt.Sprintf("%.1f×", best/tps[2]))
-			t.Rows = append(t.Rows, row)
-		}
-	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -78,32 +72,23 @@ func Figure14(ctx *Context) (*Table, error) {
 			"paper: CoServe cuts switches by 78.5%–93.9% vs the best baseline",
 		},
 	}
-	tasks, err := ctx.tasks()
+	rows, err := gridRows(ctx, figure13Systems(), func(dev *hw.Device, task workload.Task, reps []*core.Report) []string {
+		row := []string{dev.Mem.String(), task.Name}
+		for _, rep := range reps {
+			row = append(row, fmt.Sprintf("%d", rep.Switches))
+		}
+		minBase := reps[0].Switches
+		for _, rep := range reps[1:3] {
+			if rep.Switches < minBase {
+				minBase = rep.Switches
+			}
+		}
+		return append(row, fmt.Sprintf("%.1f%%", 100*(1-float64(reps[3].Switches)/float64(minBase))))
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, dev := range devices() {
-		for _, task := range tasks {
-			row := []string{dev.Mem.String(), task.Name}
-			var switches []int64
-			for _, s := range figure13Systems() {
-				rep, err := ctx.run(dev, s.variant, task, s.best)
-				if err != nil {
-					return nil, err
-				}
-				switches = append(switches, rep.Switches)
-				row = append(row, fmt.Sprintf("%d", rep.Switches))
-			}
-			minBase := switches[0]
-			for _, s := range switches[1:3] {
-				if s < minBase {
-					minBase = s
-				}
-			}
-			row = append(row, fmt.Sprintf("%.1f%%", 100*(1-float64(switches[3])/float64(minBase))))
-			t.Rows = append(t.Rows, row)
-		}
-	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -127,23 +112,17 @@ func Figure15(ctx *Context) (*Table, error) {
 			"paper: each optimization (expert management, request arranging, request assigning) adds throughput",
 		},
 	}
-	tasks, err := ctx.tasks()
+	rows, err := gridRows(ctx, ablationSystems(), func(dev *hw.Device, task workload.Task, reps []*core.Report) []string {
+		row := []string{dev.Mem.String(), task.Name}
+		for _, rep := range reps {
+			row = append(row, fmt.Sprintf("%.1f", rep.Throughput))
+		}
+		return row
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, dev := range devices() {
-		for _, task := range tasks {
-			row := []string{dev.Mem.String(), task.Name}
-			for _, s := range ablationSystems() {
-				rep, err := ctx.run(dev, s.variant, task, s.best)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%.1f", rep.Throughput))
-			}
-			t.Rows = append(t.Rows, row)
-		}
-	}
+	t.Rows = rows
 	return t, nil
 }
 
@@ -157,22 +136,16 @@ func Figure16(ctx *Context) (*Table, error) {
 			"paper: switch reductions track the throughput gains of Figure 15",
 		},
 	}
-	tasks, err := ctx.tasks()
+	rows, err := gridRows(ctx, ablationSystems(), func(dev *hw.Device, task workload.Task, reps []*core.Report) []string {
+		row := []string{dev.Mem.String(), task.Name}
+		for _, rep := range reps {
+			row = append(row, fmt.Sprintf("%d", rep.Switches))
+		}
+		return row
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, dev := range devices() {
-		for _, task := range tasks {
-			row := []string{dev.Mem.String(), task.Name}
-			for _, s := range ablationSystems() {
-				rep, err := ctx.run(dev, s.variant, task, s.best)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, fmt.Sprintf("%d", rep.Switches))
-			}
-			t.Rows = append(t.Rows, row)
-		}
-	}
+	t.Rows = rows
 	return t, nil
 }

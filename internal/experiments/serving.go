@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -58,7 +59,9 @@ func (c *Context) serveConfig(dev *hw.Device, v core.Variant) (core.Config, erro
 
 // ServeLoad sweeps offered open-loop Poisson load on the NUMA device
 // and reports throughput, tail latency, and SLO attainment per variant —
-// the saturation picture a single closed-loop run cannot show.
+// the saturation picture a single closed-loop run cannot show. Each
+// (rate, system) point builds its own System and stream, so every point
+// is one job.
 func ServeLoad(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "serve-load",
@@ -73,43 +76,57 @@ func ServeLoad(ctx *Context) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	type pointJob struct {
+		rate float64
+		sys  evalSystem
+	}
+	var jobs []pointJob
 	for _, rate := range []float64{2, 10, 40, 120} {
 		for _, s := range serveSystems() {
-			cfg, err := ctx.serveConfig(hw.NUMADevice(), s.variant)
-			if err != nil {
-				return nil, err
-			}
-			sys, err := core.NewSystem(cfg, board.Model)
-			if err != nil {
-				return nil, err
-			}
-			src, err := workload.Poisson{
-				Name: fmt.Sprintf("poisson-%g", rate), Board: board,
-				Rate: rate, N: 400, Seed: 4242,
-			}.NewSource()
-			if err != nil {
-				return nil, err
-			}
-			rep, err := sys.Serve(src)
-			if err != nil {
-				return nil, fmt.Errorf("serve-load %s @%g: %w", s.label, rate, err)
-			}
-			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("%g", rate), s.label,
-				fmt.Sprintf("%.1f", rep.Throughput),
-				fmt.Sprintf("%.3fs", rep.Latency.P50),
-				fmt.Sprintf("%.3fs", rep.Latency.P99),
-				fmt.Sprintf("%.1f%%", 100*rep.SLOAttainment),
-			})
+			jobs = append(jobs, pointJob{rate, s})
 		}
 	}
+	rows, err := runner.Sweep(ctx.par, jobs, func(_ int, j pointJob) ([]string, error) {
+		cfg, err := ctx.serveConfig(hw.NUMADevice(), j.sys.variant)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := core.NewSystem(cfg, board.Model)
+		if err != nil {
+			return nil, err
+		}
+		src, err := workload.Poisson{
+			Name: fmt.Sprintf("poisson-%g", j.rate), Board: board,
+			Rate: j.rate, N: 400, Seed: 4242,
+		}.NewSource()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.Serve(src)
+		if err != nil {
+			return nil, fmt.Errorf("serve-load %s @%g: %w", j.sys.label, j.rate, err)
+		}
+		return []string{
+			fmt.Sprintf("%g", j.rate), j.sys.label,
+			fmt.Sprintf("%.1f", rep.Throughput),
+			fmt.Sprintf("%.3fs", rep.Latency.P50),
+			fmt.Sprintf("%.3fs", rep.Latency.P99),
+			fmt.Sprintf("%.1f%%", 100*rep.SLOAttainment),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 
 // ServeWarm serves two consecutive tasks on one System per variant and
 // compares the second (warm) run against a cold rebuild of the same
 // task: the warm pools cut expert switches for CoServe and remove the
-// cold ramp for the Samba baselines.
+// cold ramp for the Samba baselines. Each variant's three runs share
+// one System's history, so the variant — not the run — is the unit of
+// parallelism.
 func ServeWarm(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "serve-warm",
@@ -128,10 +145,11 @@ func ServeWarm(ctx *Context) (*Table, error) {
 		Name: "A-serve", Board: board, N: 800,
 		ArrivalPeriod: workload.DefaultArrivalPeriod, Seed: 909,
 	}
-	for _, s := range []evalSystem{
+	variants := []evalSystem{
 		{"Samba-CoE", core.Samba, false},
 		{"CoServe Casual", core.CoServe, false},
-	} {
+	}
+	groups, err := runner.Sweep(ctx.par, variants, func(_ int, s evalSystem) ([][]string, error) {
 		cfg, err := ctx.serveConfig(hw.NUMADevice(), s.variant)
 		if err != nil {
 			return nil, err
@@ -158,6 +176,7 @@ func ServeWarm(ctx *Context) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		var rows [][]string
 		for _, row := range []struct {
 			run    string
 			loaded int
@@ -167,20 +186,28 @@ func ServeWarm(ctx *Context) (*Table, error) {
 			{"2 (warm pools)", loaded2, r2},
 			{"cold rebuild", cold.LoadedExperts(), rc},
 		} {
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				s.label, row.run,
 				fmt.Sprintf("%d experts", row.loaded),
 				fmt.Sprintf("%d", row.rep.Switches),
 				fmt.Sprintf("%.1f", row.rep.Throughput),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range groups {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
 
 // ServeMix fuses boards A and B into one CoE model and serves a
 // two-tenant Poisson mix on a single System, reporting the per-tenant
-// latency slices alongside the aggregate.
+// latency slices alongside the aggregate. One stream, one simulation —
+// nothing to fan out.
 func ServeMix(ctx *Context) (*Table, error) {
 	t := &Table{
 		ID:      "serve-mix",

@@ -6,7 +6,7 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ErrInsufficientData is returned when an estimator needs more points.
@@ -94,7 +94,7 @@ func Percentile(xs []float64, p float64) float64 {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	return percentileSorted(sorted, p)
 }
 
@@ -166,7 +166,7 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	m := Mean(xs)
 	var std float64
 	if n >= 2 {

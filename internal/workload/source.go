@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/coe"
@@ -368,9 +367,9 @@ func MergeBoards(name string, shares []float64, boards ...*Board) (*Board, []*Bo
 		}
 		// Re-add the routing rules with offset classes; Link restores the
 		// classifier→detector dependency edges.
+		// Classes() already returns ascending order.
 		router := board.Model.Router()
 		classes := router.Classes()
-		sort.Ints(classes)
 		for _, class := range classes {
 			rule, _ := router.Rule(class)
 			nr := coe.Rule{Classifier: idMap[rule.Classifier], PassProb: rule.PassProb}
