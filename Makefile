@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci bench race bench-experiments
+.PHONY: all build test vet fmt-check ci bench race bench-experiments cover
 
 all: build
 
@@ -21,6 +21,14 @@ fmt-check:
 
 # ci is the tier-1 gate: formatting, vet, build, tests.
 ci: fmt-check vet build test
+
+# cover runs the whole suite with coverage and prints the per-function
+# summary plus the total; cover.out is left behind for `go tool cover
+# -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
+	$(GO) tool cover -func=cover.out | tail -20
+	@$(GO) tool cover -func=cover.out | grep total:
 
 # race runs the whole test suite under the race detector: the parallel
 # run engine (internal/runner, the experiments fan-out) must stay clean

@@ -13,6 +13,9 @@
 //	coserve run -device numa -system coserve -task A1
 //	coserve serve -arrival poisson -rate 40 -n 2000 -slo 500ms
 //	coserve serve -board A+B -arrival mix -rate 4 -repeat 2
+//	coserve serve -arrival steady -rate 40 -horizon 10s -slo 500ms -admit shed
+//	                                     # overload: shed predicted SLO misses
+//	coserve serve -admit bounded -queue-bound 32 -autoscale -window 250ms
 //	coserve profile -device uma          # print the performance matrix
 package main
 
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	coserve "repro"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
@@ -78,7 +82,13 @@ commands:
                fig19's wall-clock sched-cost cells vary run to run;
                -cpuprofile/-memprofile write pprof profiles of the run)
   run          run one task under one serving system
-  serve        serve an arrival stream (poisson, fixed, bursty, mix) with SLOs
+  serve        serve an arrival stream (poisson, fixed, bursty, mix, steady)
+               with SLOs, admission control, and executor autoscaling:
+               -admit accept|bounded|token|shed selects the admission
+               policy (-queue-bound, -admit-rate/-admit-burst, -slo set
+               its knobs), -autoscale resizes the active executor set on
+               windowed utilization, -arrival steady -horizon 10s serves
+               an infinite steady-state stream bounded by a horizon
   profile      run the offline profiler and print the performance matrix`)
 }
 
@@ -257,15 +267,22 @@ func cmdServe(args []string) error {
 	devName := fs.String("device", "numa", "device profile: numa or uma")
 	sysName := fs.String("system", "coserve", "serving system variant")
 	boardName := fs.String("board", "A", "board: A, B, or A+B (merged multi-tenant model)")
-	arrival := fs.String("arrival", "poisson", "arrival process: poisson, fixed, bursty, mix")
-	rate := fs.Float64("rate", 40, "offered load in req/s (poisson, mix)")
+	arrival := fs.String("arrival", "poisson", "arrival process: poisson, fixed, bursty, mix, steady")
+	rate := fs.Float64("rate", 40, "offered load in req/s (poisson, mix, steady)")
 	period := fs.Duration("period", workload.DefaultArrivalPeriod, "interarrival period (fixed, bursty)")
 	on := fs.Duration("on", 100*time.Millisecond, "burst ON window (bursty)")
 	off := fs.Duration("off", 400*time.Millisecond, "burst OFF window (bursty)")
 	n := fs.Int("n", 1000, "stream length in requests")
+	horizon := fs.Duration("horizon", 10*time.Second, "virtual-time horizon bounding the infinite steady arrival process")
 	slo := fs.Duration("slo", 0, "per-request latency objective (0 = none)")
 	seed := fs.Int64("seed", 1, "stream seed")
 	repeat := fs.Int("repeat", 1, "serve the stream this many consecutive times (warm restarts)")
+	admit := fs.String("admit", "accept", "admission policy: accept, bounded, token, shed (shed needs -slo)")
+	queueBound := fs.Int("queue-bound", 64, "backlog bound for -admit bounded")
+	admitRate := fs.Float64("admit-rate", 20, "token refill rate in req/s for -admit token")
+	admitBurst := fs.Float64("admit-burst", 10, "token burst for -admit token")
+	autoscale := fs.Bool("autoscale", false, "autoscale the active executor set on windowed utilization (hysteresis 0.3/0.85)")
+	window := fs.Duration("window", 0, "windowed-metrics interval and autoscale cadence (0 = default when autoscaling, else disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -281,9 +298,20 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("repeat must be at least 1")
 	}
 	switch *arrival {
-	case "poisson", "fixed", "bursty", "mix":
+	case "poisson", "fixed", "bursty", "mix", "steady":
 	default:
-		return fmt.Errorf("unknown arrival process %q (want poisson, fixed, bursty, mix)", *arrival)
+		return fmt.Errorf("unknown arrival process %q (want poisson, fixed, bursty, mix, steady)", *arrival)
+	}
+	if *admit == "shed" && *slo <= 0 {
+		return fmt.Errorf("-admit shed needs a positive -slo objective")
+	}
+	admission, err := control.PolicyByName(*admit, control.PolicyOptions{
+		QueueBound: *queueBound,
+		Rate:       *admitRate, Burst: *admitBurst,
+		Objective: *slo,
+	})
+	if err != nil {
+		return err
 	}
 
 	// Resolve the board (merging A and B for the multi-tenant model).
@@ -329,6 +357,15 @@ func cmdServe(args []string) error {
 				Name: "bursty", Board: board,
 				Period: *period, On: *on, Off: *off, N: *n, Seed: rseed,
 			}.NewSource()
+		case "steady":
+			// Infinite steady-state arrivals, terminated by the horizon.
+			src, err := workload.Steady{
+				Name: "steady", Board: board, Rate: *rate, Seed: rseed,
+			}.NewSource()
+			if err != nil {
+				return nil, err
+			}
+			return workload.Horizon(src, *horizon), nil
 		case "mix":
 			// Two equal tenants: over the merged views for A+B, or two
 			// streams on the same board otherwise.
@@ -361,6 +398,12 @@ func cmdServe(args []string) error {
 	cfg := core.Config{
 		Device: dev, Variant: variant,
 		GPUExecutors: g, CPUExecutors: c, Perf: perf, SLO: *slo,
+		Admission: admission, Window: *window,
+	}
+	if *autoscale {
+		if cfg.Autoscaler, err = control.NewHysteresisScaler(0.3, 0.85); err != nil {
+			return err
+		}
 	}
 	cfg.Alloc = core.DefaultAllocation(variant, dev, perf, g, c)
 	sys, err := core.NewSystem(cfg, board.Model)
@@ -376,8 +419,12 @@ func cmdServe(args []string) error {
 		if round > 0 {
 			warmth = "warm pools"
 		}
-		fmt.Printf("serving %s stream %d/%d (%d requests, %s) on %s under %s...\n",
-			*arrival, round+1, *repeat, *n, warmth, dev.Name, variant)
+		length := fmt.Sprintf("%d requests", *n)
+		if *arrival == "steady" {
+			length = fmt.Sprintf("%v horizon at %g req/s", *horizon, *rate)
+		}
+		fmt.Printf("serving %s stream %d/%d (%s, %s, admit %s) on %s under %s...\n",
+			*arrival, round+1, *repeat, length, warmth, admission.Name(), dev.Name, variant)
 		start := time.Now()
 		rep, err := sys.Serve(src)
 		if err != nil {
@@ -394,6 +441,10 @@ func printReport(r *core.Report) {
 	fmt.Fprintf(w, "system\t%s\n", r.System)
 	fmt.Fprintf(w, "device\t%s\n", r.Device)
 	fmt.Fprintf(w, "task\t%s (%d requests)\n", r.Task, r.N)
+	if r.Rejected > 0 {
+		fmt.Fprintf(w, "admission\t%d offered, %d rejected (%.1f%%), peak queue %d\n",
+			r.Offered, r.Rejected, 100*r.RejectionRate, r.PeakQueued)
+	}
 	fmt.Fprintf(w, "throughput\t%.2f img/s\n", r.Throughput)
 	fmt.Fprintf(w, "makespan\t%.1f s (virtual)\n", r.Makespan.Seconds())
 	fmt.Fprintf(w, "expert switches\t%d (%d from SSD, %d from host)\n", r.Switches, r.SSDLoads, r.HostHits)
@@ -403,20 +454,31 @@ func printReport(r *core.Report) {
 		fmt.Fprintf(w, "slo attainment\t%.1f%% within %v\n", 100*r.SLOAttainment, r.SLO)
 	}
 	fmt.Fprintf(w, "sched cost\t%v per decision (%d decisions)\n", r.SchedPerOp, r.SchedOps)
+	fmt.Fprintf(w, "active executors\t%d GPU, %d CPU\n", r.ActiveGPU, r.ActiveCPU)
 	w.Flush()
 	if len(r.PerTenant) > 0 {
 		fmt.Println("per tenant:")
 		wt := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(wt, "  name\tadmitted\tcompleted\tp50\tp95\tslo attainment")
+		fmt.Fprintln(wt, "  name\tadmitted\trejected\tcompleted\tp50\tp95\tslo attainment")
 		for _, ts := range r.PerTenant {
 			attain := "n/a"
 			if r.SLO > 0 {
 				attain = fmt.Sprintf("%.1f%%", 100*ts.SLOAttainment)
 			}
-			fmt.Fprintf(wt, "  %s\t%d\t%d\t%.2fs\t%.2fs\t%s\n",
-				ts.Name, ts.Admitted, ts.Completions, ts.Latency.P50, ts.Latency.P95, attain)
+			fmt.Fprintf(wt, "  %s\t%d\t%d\t%d\t%.2fs\t%.2fs\t%s\n",
+				ts.Name, ts.Admitted, ts.Rejected, ts.Completions, ts.Latency.P50, ts.Latency.P95, attain)
 		}
 		wt.Flush()
+	}
+	if len(r.Windows) > 0 {
+		fmt.Println("windows:")
+		ww := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ww, "  start\tarrivals\tcompletions\trejections\tmean latency")
+		for _, win := range r.Windows {
+			fmt.Fprintf(ww, "  %v\t%d\t%d\t%d\t%.3fs\n",
+				win.Start, win.Arrivals, win.Completions, win.Rejections, win.MeanLatency())
+		}
+		ww.Flush()
 	}
 	fmt.Println("per executor:")
 	we := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)

@@ -36,6 +36,10 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"serve", "-board", "Z"},
 		{"serve", "-arrival", "telepathic"},
 		{"serve", "-repeat", "0"},
+		{"serve", "-admit", "nope"},
+		{"serve", "-admit", "shed"}, // shed without -slo
+		{"serve", "-admit", "bounded", "-queue-bound", "0"},
+		{"serve", "-admit", "token", "-admit-rate", "0"},
 	}
 	silence(t)
 	for _, args := range cases {
@@ -82,6 +86,24 @@ func TestServeSubcommandSmall(t *testing.T) {
 	}
 	if err := run([]string{"serve", "-board", "A+B", "-arrival", "mix", "-rate", "6", "-n", "100"}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestServeControlPlaneFlags drives the admission and autoscaling
+// knobs end-to-end from the CLI.
+func TestServeControlPlaneFlags(t *testing.T) {
+	silence(t)
+	cases := [][]string{
+		{"serve", "-arrival", "steady", "-rate", "60", "-horizon", "2s", "-admit", "bounded", "-queue-bound", "16"},
+		{"serve", "-arrival", "steady", "-rate", "60", "-horizon", "2s", "-admit", "token", "-admit-rate", "10", "-admit-burst", "5"},
+		{"serve", "-arrival", "steady", "-rate", "60", "-horizon", "2s", "-admit", "shed", "-slo", "500ms"},
+		{"serve", "-arrival", "poisson", "-rate", "10", "-n", "80", "-autoscale", "-window", "200ms"},
+		{"serve", "-arrival", "steady", "-rate", "30", "-horizon", "2s", "-admit", "accept"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("args %v: %v", args, err)
+		}
 	}
 }
 

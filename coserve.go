@@ -32,14 +32,30 @@
 //	report2, _ := srv.RunTask(coserve.TaskA1(board))  // consecutive, warm pools
 //
 // Bursty traffic (Bursty), multi-tenant mixes (Mix), and fused
-// multi-board models (MergeBoards) compose the same way. Custom CoE
-// models are assembled with NewModelBuilder; custom workloads with the
-// Task type. The experiments subcommand of cmd/coserve regenerates
-// every table and figure of the paper through the same API.
+// multi-board models (MergeBoards) compose the same way. Under
+// overload, the control plane plugs in through Config: an
+// AdmissionPolicy (bounded queue, token bucket, SLO-aware shedding)
+// decides per arrival what the server accepts, and an Autoscaler
+// resizes the active executor set on windowed utilization — both off by
+// default:
+//
+//	cfg.Admission, _ = coserve.NewDeadlineShed(cfg.SLO)  // shed predicted misses
+//	cfg.Autoscaler, _ = coserve.NewHysteresisScaler(0.3, 0.85)
+//	steady, _ := coserve.Steady{Name: "line", Board: board, Rate: 40, Seed: 1}.NewSource()
+//	report3, _ := srv.Serve(coserve.Horizon(steady, time.Minute))
+//	fmt.Printf("rejected %.1f%%\n", 100*report3.RejectionRate)
+//
+// Custom CoE models are assembled with NewModelBuilder; custom
+// workloads with the Task type. The experiments subcommand of
+// cmd/coserve regenerates every table and figure of the paper through
+// the same API.
 package coserve
 
 import (
+	"time"
+
 	"repro/internal/coe"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hw"
@@ -147,6 +163,55 @@ type Report = core.Report
 // TenantStats is one tenant's slice of a multi-tenant stream report.
 type TenantStats = core.TenantStats
 
+// Control plane (internal/control): admission policies decide per
+// arriving request whether the server accepts it — Config.Admission —
+// and an Autoscaler resizes the active executor set per utilization
+// window — Config.Autoscaler — with deactivated executors keeping their
+// expert pools warm for reactivation. Config.Window sets the windowed
+// metrics interval (and the autoscaler's cadence); Report.Windows
+// carries the resulting sliding-interval series.
+type (
+	AdmissionPolicy = control.AdmissionPolicy
+	AdmissionView   = control.View
+	AcceptAll       = control.AcceptAll
+	PolicyOptions   = control.PolicyOptions
+	Autoscaler      = control.Autoscaler
+	Utilization     = control.Utilization
+)
+
+// DefaultControlWindow is the control interval used when an Autoscaler
+// is configured without an explicit Config.Window.
+const DefaultControlWindow = core.DefaultControlWindow
+
+// NewBoundedQueue returns an admission policy rejecting arrivals once
+// max requests are queued.
+func NewBoundedQueue(max int) (AdmissionPolicy, error) { return control.NewBoundedQueue(max) }
+
+// NewTokenBucket returns an admission policy rate-limiting admissions
+// to rate requests per second with bursts up to burst.
+func NewTokenBucket(rate, burst float64) (AdmissionPolicy, error) {
+	return control.NewTokenBucket(rate, burst)
+}
+
+// NewDeadlineShed returns an admission policy shedding requests whose
+// predicted end-to-end latency already exceeds the objective.
+func NewDeadlineShed(objective time.Duration) (AdmissionPolicy, error) {
+	return control.NewDeadlineShed(objective)
+}
+
+// AdmissionPolicyByName builds a policy from its CLI name: "accept",
+// "bounded", "token", or "shed".
+func AdmissionPolicyByName(name string, opts PolicyOptions) (AdmissionPolicy, error) {
+	return control.PolicyByName(name, opts)
+}
+
+// NewHysteresisScaler returns an autoscaler growing the active executor
+// set above the high busy-fraction threshold (or under backlog) and
+// shrinking it below the low one.
+func NewHysteresisScaler(low, high float64) (Autoscaler, error) {
+	return control.NewHysteresisScaler(low, high)
+}
+
 // Server is an assembled serving system bound to a simulated device. A
 // Server is long-lived: Serve runs one request stream to completion,
 // and consecutive calls warm-restart it on the already-loaded expert
@@ -199,7 +264,16 @@ type (
 	Poisson      = workload.Poisson
 	Bursty       = workload.Bursty
 	Mix          = workload.Mix
+	Steady       = workload.Steady
 )
+
+// Horizon bounds a source at a virtual-time horizon — required before
+// serving an infinite steady-state source (Steady).
+func Horizon(src Source, d time.Duration) Source { return workload.Horizon(src, d) }
+
+// IsUnbounded reports whether a source yields an infinite stream and
+// therefore needs a Horizon before serving.
+func IsUnbounded(src Source) bool { return workload.IsUnbounded(src) }
 
 // MergeBoards fuses several boards into one CoE model for multi-tenant
 // serving; it returns the merged board plus per-tenant sampling views.

@@ -3,9 +3,74 @@ package coserve_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	coserve "repro"
 )
+
+// TestControlPlaneFacade exercises the documented overload session: a
+// steady-state stream bounded by a horizon, SLO-aware shedding, and an
+// autoscaler, all through the public API.
+func TestControlPlaneFacade(t *testing.T) {
+	dev := coserve.NUMADevice()
+	board, err := coserve.BoardA().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, c := coserve.DefaultExecutors(dev)
+	cfg := coserve.Config{
+		Device: dev, Variant: coserve.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: coserve.CasualAllocation(dev, perf, g, c), Perf: perf,
+		SLO: 500 * time.Millisecond, Window: time.Second,
+	}
+	if cfg.Admission, err = coserve.NewDeadlineShed(cfg.SLO); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Autoscaler, err = coserve.NewHysteresisScaler(0.3, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := coserve.NewServer(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, err := coserve.Steady{Name: "line", Board: board, Rate: 60, Seed: 9}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coserve.IsUnbounded(steady) {
+		t.Fatal("steady source not reported unbounded through the facade")
+	}
+	rep, err := srv.Serve(coserve.Horizon(steady, 5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered != rep.N+rep.Rejected {
+		t.Errorf("offered %d != admitted %d + rejected %d", rep.Offered, rep.N, rep.Rejected)
+	}
+	if rep.Rejected == 0 {
+		t.Error("shedding rejected nothing at 5x overload")
+	}
+	if len(rep.Windows) == 0 {
+		t.Error("no windowed series despite Config.Window")
+	}
+	if rep.ActiveGPU < 1 || rep.ActiveGPU > g || rep.ActiveCPU < 0 || rep.ActiveCPU > c {
+		t.Errorf("active executors %dG+%dC outside the built topology %dG+%dC",
+			rep.ActiveGPU, rep.ActiveCPU, g, c)
+	}
+	// The named policies resolve through the facade, too.
+	for _, name := range []string{"accept", "bounded", "token", "shed"} {
+		if _, err := coserve.AdmissionPolicyByName(name, coserve.PolicyOptions{
+			QueueBound: 8, Rate: 5, Burst: 2, Objective: time.Second,
+		}); err != nil {
+			t.Errorf("policy %q: %v", name, err)
+		}
+	}
+}
 
 // TestQuickstartFlow exercises the documented public-API session end to
 // end: profile, configure, serve, report.
@@ -83,7 +148,7 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := coserve.RunExperiment(nil, "fig99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if got := len(coserve.Experiments()); got != 19 {
-		t.Errorf("experiments = %d, want 19 (13 paper artifacts + 3 extensions + 3 serving)", got)
+	if got := len(coserve.Experiments()); got != 20 {
+		t.Errorf("experiments = %d, want 20 (13 paper artifacts + 3 extensions + 4 serving)", got)
 	}
 }

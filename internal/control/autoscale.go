@@ -1,0 +1,81 @@
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Utilization summarizes one control window of data-plane activity: the
+// input to autoscaling decisions. The serving layer samples it at every
+// window boundary within a stream; between streams no extra sample is
+// taken — the active counts simply persist into the next stream.
+type Utilization struct {
+	// Window is the interval the sample covers.
+	Window time.Duration
+	// GPUBusy and CPUBusy are the mean busy fractions of the active
+	// executors of each kind over the window (0 when the kind has no
+	// active executors).
+	GPUBusy, CPUBusy float64
+	// Queued is the backlog (queued requests across active executors) at
+	// the window boundary.
+	Queued int
+}
+
+// Autoscaler decides, per utilization window, how many executors of each
+// kind the data plane should keep active. The serving layer clamps the
+// returned counts to the built topology (at least one GPU executor, at
+// most the configured counts); deactivated executors keep their expert
+// pools warm, so scaling back up reuses loaded experts instead of
+// cold-starting. Decisions run in virtual time and must be
+// deterministic.
+type Autoscaler interface {
+	// Name identifies the autoscaler in reports.
+	Name() string
+	// Scale returns the desired active executor counts given the
+	// window's utilization and the current active counts.
+	Scale(now sim.Time, u Utilization, activeGPU, activeCPU int) (gpu, cpu int)
+}
+
+// HysteresisScaler grows the active set one executor at a time while
+// utilization is above High (or a backlog has formed) and shrinks it
+// while utilization is below Low with no backlog. The dead band between
+// the thresholds prevents oscillation at steady load; bursty on/off
+// traffic walks the active set up during ON windows and back down
+// through OFF windows.
+type HysteresisScaler struct {
+	// Low and High are the busy-fraction thresholds (0 < Low < High <= 1).
+	Low, High float64
+}
+
+// NewHysteresisScaler returns a hysteresis autoscaler with the given
+// busy-fraction thresholds.
+func NewHysteresisScaler(low, high float64) (*HysteresisScaler, error) {
+	if low <= 0 || high <= low || high > 1 {
+		return nil, fmt.Errorf("control: hysteresis thresholds (%f, %f) need 0 < low < high <= 1", low, high)
+	}
+	return &HysteresisScaler{Low: low, High: high}, nil
+}
+
+// Name implements Autoscaler.
+func (h *HysteresisScaler) Name() string { return fmt.Sprintf("hysteresis-%g-%g", h.Low, h.High) }
+
+// Scale implements Autoscaler: each kind steps independently on its own
+// busy fraction; a standing backlog forces growth even when the busy
+// sample straddles the dead band. A kind scaled to zero reads a busy
+// fraction of zero forever, so a backlog alone revives it — otherwise
+// capacity shed on a trickle would be lost for the System's lifetime.
+func (h *HysteresisScaler) Scale(_ sim.Time, u Utilization, activeGPU, activeCPU int) (int, int) {
+	step := func(active int, busy float64) int {
+		switch {
+		case busy > h.High || (u.Queued > 0 && (busy > h.Low || active == 0)):
+			return active + 1
+		case busy < h.Low && u.Queued == 0:
+			return active - 1
+		default:
+			return active
+		}
+	}
+	return step(activeGPU, u.GPUBusy), step(activeCPU, u.CPUBusy)
+}

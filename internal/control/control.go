@@ -1,0 +1,209 @@
+// Package control is the serving layer's control plane: the admission
+// decisions made as requests arrive (load shedding under overload) and
+// the autoscaling decisions made between utilization windows. The data
+// plane — dispatch, queueing, execution — lives in internal/core and
+// internal/executor; this package only decides what the data plane may
+// accept and how many executors it should keep active.
+//
+// Past the saturation knee an open-loop arrival process offers more
+// work than the executors can drain: queues grow without bound and
+// every request's latency — not just the marginal one's — collapses.
+// Admission control converts that failure mode into an explicit
+// decision: reject some requests early (cheaply, before they touch a
+// queue) so the admitted ones still meet their objective. The policies
+// here trade goodput against attainment in different ways: a bounded
+// queue caps the backlog, a token bucket caps the admitted rate, and
+// deadline shedding drops exactly the requests predicted to miss.
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/sim"
+)
+
+// View is the slice of data-plane state admission policies may consult.
+// It is implemented by core.System; policies must treat it as read-only.
+type View interface {
+	// Queued reports the number of requests currently waiting in the
+	// active executors' queues (excluding in-flight batches).
+	Queued() int
+	// PredictLatency predicts the end-to-end latency a request admitted
+	// now would observe: the best queue's predicted finish time plus the
+	// predicted cost of the request's current stage (sched.Queue.Predict),
+	// plus optimistic predictions for its remaining stages.
+	PredictLatency(r *coe.Request) time.Duration
+}
+
+// AdmissionPolicy decides, per arriving request, whether the data plane
+// accepts it. Policies may keep state (a token bucket's fill level);
+// Reset re-arms that state at the start of each served stream, so one
+// policy instance follows a System across warm restarts. Policies are
+// consulted from the simulation's arrival process and must be
+// deterministic in virtual time.
+type AdmissionPolicy interface {
+	// Name identifies the policy in reports and tables.
+	Name() string
+	// Admit reports whether the request arriving at virtual time now is
+	// accepted.
+	Admit(now sim.Time, v View, r *coe.Request) bool
+	// Reset re-arms per-stream state at stream start.
+	Reset(now sim.Time)
+}
+
+// AcceptAll admits every request — the open-loop default, and the
+// bit-compatibility baseline: a System configured with AcceptAll behaves
+// byte-identically to one with no admission policy at all.
+type AcceptAll struct{}
+
+// Name implements AdmissionPolicy.
+func (AcceptAll) Name() string { return "accept-all" }
+
+// Admit implements AdmissionPolicy.
+func (AcceptAll) Admit(sim.Time, View, *coe.Request) bool { return true }
+
+// Reset implements AdmissionPolicy.
+func (AcceptAll) Reset(sim.Time) {}
+
+// BoundedQueue rejects arrivals while the system backlog is at its
+// bound: the classic bounded-buffer admission rule. It caps queue memory
+// and queueing delay at the cost of rejecting bursts the system could
+// eventually have drained.
+type BoundedQueue struct {
+	// Max is the largest backlog (queued requests across active
+	// executors) at which arrivals are still admitted.
+	Max int
+}
+
+// NewBoundedQueue returns a bounded-queue policy rejecting arrivals once
+// max requests are queued.
+func NewBoundedQueue(max int) (*BoundedQueue, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("control: queue bound %d must be at least 1", max)
+	}
+	return &BoundedQueue{Max: max}, nil
+}
+
+// Name implements AdmissionPolicy.
+func (b *BoundedQueue) Name() string { return fmt.Sprintf("bounded-%d", b.Max) }
+
+// Admit implements AdmissionPolicy.
+func (b *BoundedQueue) Admit(_ sim.Time, v View, _ *coe.Request) bool {
+	return v.Queued() < b.Max
+}
+
+// Reset implements AdmissionPolicy.
+func (b *BoundedQueue) Reset(sim.Time) {}
+
+// TokenBucket rate-limits admission to Rate requests per second of
+// virtual time with bursts up to Burst: each admission spends one token,
+// tokens refill continuously. Unlike BoundedQueue it is blind to queue
+// state — it shapes the admitted arrival process itself, which keeps the
+// backlog bounded whenever Rate is below the service capacity.
+type TokenBucket struct {
+	// Rate is the sustained admission rate in requests per second.
+	Rate float64
+	// Burst is the bucket capacity in tokens.
+	Burst float64
+
+	tokens float64
+	last   sim.Time
+	primed bool
+}
+
+// NewTokenBucket returns a token-bucket policy admitting rate requests
+// per second with bursts up to burst.
+func NewTokenBucket(rate, burst float64) (*TokenBucket, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("control: token rate %f must be positive", rate)
+	}
+	if burst < 1 {
+		return nil, fmt.Errorf("control: token burst %f must be at least 1", burst)
+	}
+	return &TokenBucket{Rate: rate, Burst: burst}, nil
+}
+
+// Name implements AdmissionPolicy.
+func (t *TokenBucket) Name() string { return fmt.Sprintf("token-%g", t.Rate) }
+
+// Admit implements AdmissionPolicy.
+func (t *TokenBucket) Admit(now sim.Time, _ View, _ *coe.Request) bool {
+	if !t.primed {
+		t.Reset(now)
+	}
+	t.tokens += now.Sub(t.last).Seconds() * t.Rate
+	if t.tokens > t.Burst {
+		t.tokens = t.Burst
+	}
+	t.last = now
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// Reset implements AdmissionPolicy: the bucket starts a stream full.
+func (t *TokenBucket) Reset(now sim.Time) {
+	t.tokens, t.last, t.primed = t.Burst, now, true
+}
+
+// DeadlineShed drops requests predicted to miss their latency objective:
+// using the scheduler's own latency prediction (sched.Queue.Predict via
+// View.PredictLatency), a request whose best-case predicted completion
+// already exceeds the objective is shed at admission instead of wasting
+// executor time on a guaranteed SLO miss. Admitted requests therefore
+// keep high attainment while goodput tracks capacity.
+type DeadlineShed struct {
+	// Objective is the per-request end-to-end latency deadline.
+	Objective time.Duration
+}
+
+// NewDeadlineShed returns an SLO-aware shedding policy for the given
+// latency objective.
+func NewDeadlineShed(objective time.Duration) (*DeadlineShed, error) {
+	if objective <= 0 {
+		return nil, fmt.Errorf("control: shed objective %v must be positive", objective)
+	}
+	return &DeadlineShed{Objective: objective}, nil
+}
+
+// Name implements AdmissionPolicy.
+func (d *DeadlineShed) Name() string { return fmt.Sprintf("shed-%v", d.Objective) }
+
+// Admit implements AdmissionPolicy.
+func (d *DeadlineShed) Admit(_ sim.Time, v View, r *coe.Request) bool {
+	return v.PredictLatency(r) <= d.Objective
+}
+
+// Reset implements AdmissionPolicy.
+func (d *DeadlineShed) Reset(sim.Time) {}
+
+// PolicyOptions carries the knobs PolicyByName needs to build a policy.
+type PolicyOptions struct {
+	// QueueBound is the BoundedQueue backlog limit ("bounded").
+	QueueBound int
+	// Rate and Burst parameterize the TokenBucket ("token").
+	Rate, Burst float64
+	// Objective is the DeadlineShed latency deadline ("shed").
+	Objective time.Duration
+}
+
+// PolicyByName builds an admission policy from its CLI name: "accept"
+// (or ""), "bounded", "token", or "shed".
+func PolicyByName(name string, opts PolicyOptions) (AdmissionPolicy, error) {
+	switch name {
+	case "", "accept", "accept-all":
+		return AcceptAll{}, nil
+	case "bounded":
+		return NewBoundedQueue(opts.QueueBound)
+	case "token":
+		return NewTokenBucket(opts.Rate, opts.Burst)
+	case "shed":
+		return NewDeadlineShed(opts.Objective)
+	default:
+		return nil, fmt.Errorf("control: unknown admission policy %q (want accept, bounded, token, shed)", name)
+	}
+}

@@ -1,0 +1,173 @@
+package control
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/sim"
+)
+
+// fakeView is a scripted data-plane view for policy tests.
+type fakeView struct {
+	queued  int
+	predict time.Duration
+}
+
+func (v fakeView) Queued() int                               { return v.queued }
+func (v fakeView) PredictLatency(*coe.Request) time.Duration { return v.predict }
+
+var testReq = coe.NewRequest(0, 0, []coe.ExpertID{0})
+
+func TestAcceptAllAdmitsEverything(t *testing.T) {
+	var p AcceptAll
+	for i := 0; i < 5; i++ {
+		if !p.Admit(sim.Time(i), fakeView{queued: 1 << 20}, testReq) {
+			t.Fatal("AcceptAll rejected a request")
+		}
+	}
+}
+
+func TestBoundedQueueRejectsAtBound(t *testing.T) {
+	p, err := NewBoundedQueue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for queued, want := range map[int]bool{0: true, 2: true, 3: false, 10: false} {
+		if got := p.Admit(0, fakeView{queued: queued}, testReq); got != want {
+			t.Errorf("bound 3, queued %d: admit = %v, want %v", queued, got, want)
+		}
+	}
+	if _, err := NewBoundedQueue(0); err == nil {
+		t.Error("bound 0 accepted")
+	}
+}
+
+func TestTokenBucketRateLimits(t *testing.T) {
+	p, err := NewTokenBucket(10, 2) // 10 tokens/s, burst 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := sim.Time(0)
+	p.Reset(now)
+	// The burst admits two back-to-back requests, then the bucket is dry.
+	if !p.Admit(now, fakeView{}, testReq) || !p.Admit(now, fakeView{}, testReq) {
+		t.Fatal("burst not admitted")
+	}
+	if p.Admit(now, fakeView{}, testReq) {
+		t.Fatal("third simultaneous request admitted past the burst")
+	}
+	// 100ms refills exactly one token at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if !p.Admit(now, fakeView{}, testReq) {
+		t.Fatal("refilled token not admitted")
+	}
+	if p.Admit(now, fakeView{}, testReq) {
+		t.Fatal("second request on one refilled token admitted")
+	}
+	// A long idle period refills only to the burst cap.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if p.Admit(now, fakeView{}, testReq) {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Errorf("after long idle, %d admitted, want burst cap 2", admitted)
+	}
+}
+
+func TestTokenBucketResetRefills(t *testing.T) {
+	p, err := NewTokenBucket(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Reset(0)
+	if !p.Admit(0, fakeView{}, testReq) || p.Admit(0, fakeView{}, testReq) {
+		t.Fatal("bucket not drained")
+	}
+	p.Reset(0)
+	if !p.Admit(0, fakeView{}, testReq) {
+		t.Error("Reset did not refill the bucket")
+	}
+	if _, err := NewTokenBucket(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(1, 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestDeadlineShedUsesPrediction(t *testing.T) {
+	p, err := NewDeadlineShed(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Admit(0, fakeView{predict: 50 * time.Millisecond}, testReq) {
+		t.Error("request predicted within deadline rejected")
+	}
+	if p.Admit(0, fakeView{predict: 150 * time.Millisecond}, testReq) {
+		t.Error("request predicted past deadline admitted")
+	}
+	if _, err := NewDeadlineShed(0); err == nil {
+		t.Error("zero objective accepted")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	opts := PolicyOptions{QueueBound: 8, Rate: 5, Burst: 2, Objective: time.Second}
+	for name, want := range map[string]string{
+		"":        "accept-all",
+		"accept":  "accept-all",
+		"bounded": "bounded-8",
+		"token":   "token-5",
+		"shed":    "shed-1s",
+	} {
+		p, err := PolicyByName(name, opts)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Name() != want {
+			t.Errorf("%q: policy %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := PolicyByName("nope", opts); err == nil {
+		t.Error("unknown policy name accepted")
+	}
+	if _, err := PolicyByName("bounded", PolicyOptions{}); err == nil {
+		t.Error("bounded with zero bound accepted")
+	}
+}
+
+func TestHysteresisScalerSteps(t *testing.T) {
+	h, err := NewHysteresisScaler(0.3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		u        Utilization
+		gpu, cpu int
+		wantG    int
+		wantC    int
+		desc     string
+	}{
+		{Utilization{GPUBusy: 0.95, CPUBusy: 0.5}, 2, 1, 3, 1, "hot GPU grows"},
+		{Utilization{GPUBusy: 0.1, CPUBusy: 0.1}, 3, 1, 2, 0, "idle both shrink"},
+		{Utilization{GPUBusy: 0.5, CPUBusy: 0.5}, 2, 1, 2, 1, "dead band holds"},
+		{Utilization{GPUBusy: 0.5, CPUBusy: 0.5, Queued: 7}, 2, 1, 3, 2, "backlog forces growth"},
+		{Utilization{GPUBusy: 0.1, CPUBusy: 0.1, Queued: 7}, 2, 1, 2, 1, "backlog blocks shrink"},
+		// A kind at zero reads busy 0 forever; a standing backlog must
+		// revive it or its capacity is lost for the System's lifetime.
+		{Utilization{GPUBusy: 0.5, CPUBusy: 0, Queued: 7}, 2, 0, 3, 1, "backlog revives parked kind"},
+		{Utilization{GPUBusy: 0.1, CPUBusy: 0, Queued: 0}, 1, 0, 0, -1, "idle zero kind stays parked"},
+	} {
+		g, c := h.Scale(0, tc.u, tc.gpu, tc.cpu)
+		if g != tc.wantG || c != tc.wantC {
+			t.Errorf("%s: got %dG+%dC, want %dG+%dC", tc.desc, g, c, tc.wantG, tc.wantC)
+		}
+	}
+	if _, err := NewHysteresisScaler(0.8, 0.3); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+}

@@ -8,12 +8,18 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/control"
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/pool"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
+
+// DefaultControlWindow is the control-plane interval used when an
+// Autoscaler is configured without an explicit Window: the width of the
+// windowed metrics series and the autoscaler's decision cadence.
+const DefaultControlWindow = 250 * time.Millisecond
 
 // Variant selects a serving system design.
 type Variant int
@@ -159,6 +165,23 @@ type Config struct {
 	// EvictPolicy, when non-nil, overrides the variant's eviction policy
 	// (for design-choice ablations such as prob-only vs two-stage).
 	EvictPolicy pool.Policy
+	// Admission, when non-nil, is the control plane's admission policy:
+	// it is consulted once per arriving request and may reject it before
+	// it touches a queue. Nil (and control.AcceptAll) admit everything —
+	// both are byte-identical to the pre-control-plane behavior.
+	Admission control.AdmissionPolicy
+	// Autoscaler, when non-nil, resizes the active executor set once per
+	// Window based on measured utilization. Deactivated executors keep
+	// their pools warm (scaling back up reuses loaded experts); the
+	// active counts persist across consecutive streams, so between-stream
+	// scaling falls out of the same loop. Incompatible with
+	// PreschedPicks, whose recorded indices assume a fixed queue set.
+	Autoscaler control.Autoscaler
+	// Window is the width of the recorder's windowed
+	// throughput/latency/rejection series and the autoscaler's control
+	// interval. Zero disables windowed metrics, unless an Autoscaler is
+	// set, in which case it defaults to DefaultControlWindow.
+	Window time.Duration
 }
 
 // evictPolicy resolves the effective eviction policy.
@@ -169,10 +192,14 @@ func (c Config) evictPolicy() pool.Policy {
 	return c.Variant.policy()
 }
 
-// normalized returns the config with variant-dependent topology applied.
+// normalized returns the config with variant-dependent topology and
+// control-plane defaults applied.
 func (c Config) normalized() Config {
 	if c.Variant.singleExecutor() {
 		c.GPUExecutors, c.CPUExecutors = 1, 0
+	}
+	if c.Autoscaler != nil && c.Window <= 0 {
+		c.Window = DefaultControlWindow
 	}
 	return c
 }
@@ -194,6 +221,11 @@ func (c Config) validate(largestWeight, largestGPUAct, largestCPUAct int64) erro
 	}
 	if c.Perf == nil {
 		return fmt.Errorf("core: config needs a performance matrix")
+	}
+	if c.Autoscaler != nil && c.PreschedPicks != nil {
+		// Replayed picks index a fixed queue set; scaling the active set
+		// mid-replay would re-route the recorded assignments.
+		return fmt.Errorf("core: autoscaling cannot be combined with pre-scheduled picks")
 	}
 	a := c.Alloc
 	if a.GPUExpertBytes <= 0 {

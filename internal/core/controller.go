@@ -9,22 +9,26 @@ import (
 )
 
 // controller owns admission and completion for one stream served by a
-// System: it feeds timed requests from the arrival process into the
-// dispatch path, tracks outstanding work, and shuts the executors down
-// once the stream has fully drained — the lifecycle logic that used to
-// live inline in RunTask.
+// System: it feeds timed requests from the arrival process through the
+// admission policy into the dispatch path, tracks outstanding work, and
+// shuts the executors down once the stream has fully drained — the
+// lifecycle logic that used to live inline in RunTask.
 type controller struct {
 	sys   *System
 	src   workload.Source
 	start sim.Time // virtual instant the stream began
 
-	admitted  int64
-	completed int64
-	closed    bool // the source is exhausted
-	finished  bool // every admitted request has completed
+	admitted   int64
+	rejected   int64
+	completed  int64
+	peakQueued int  // largest backlog observed at a dispatch instant
+	closed     bool // the source is exhausted
+	finished   bool // every admitted request has completed
 
 	// tenantOf maps in-flight request IDs to their tenant for
-	// multi-tenant sources; nil until the first tagged request.
+	// multi-tenant sources; entries are deleted as requests complete so
+	// long streams do not accumulate dead IDs. Nil until the first
+	// tagged request.
 	tenantOf map[int64]string
 	tenants  map[string]*tenantAgg
 	order    []string // tenant names in first-seen order
@@ -33,6 +37,7 @@ type controller struct {
 // tenantAgg accumulates one tenant's slice of a multi-tenant run.
 type tenantAgg struct {
 	admitted  int64
+	rejected  int64
 	completed int64
 	latencies []float64
 }
@@ -42,9 +47,12 @@ func newController(s *System, src workload.Source) *controller {
 }
 
 // admit is the arrival process body: it walks the source, sleeps until
-// each request's due time, and dispatches it. When the source closes it
-// arms completion-driven shutdown (and shuts down immediately if the
-// stream already drained).
+// each request's due time, consults the admission policy, and
+// dispatches what it accepts. Rejected requests leave exactly one mark
+// — a rejection count (and a KindRejected trace event) — and never
+// touch a queue, the recorder's completion path, or the per-tenant
+// latency aggregates. When the source closes it arms completion-driven
+// shutdown (and shuts down immediately if the stream already drained).
 func (c *controller) admit(p *sim.Proc) {
 	s := c.sys
 	for {
@@ -57,7 +65,21 @@ func (c *controller) admit(p *sim.Proc) {
 			p.Sleep(wait)
 		}
 		r := tr.Req
-		r.Arrival = p.Now()
+		now := p.Now()
+		if s.cfg.Admission != nil && !s.cfg.Admission.Admit(now, s, r) {
+			c.rejected++
+			s.recorder.Rejection(now)
+			if tr.Tenant != "" {
+				c.tenantFor(tr.Tenant).rejected++
+			}
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Add(trace.Event{
+					At: now.Duration(), Kind: trace.KindRejected, Request: r.ID,
+				})
+			}
+			continue
+		}
+		r.Arrival = now
 		s.recorder.Arrival(r.Arrival)
 		c.admitted++
 		if tr.Tenant != "" {
@@ -118,18 +140,29 @@ func (c *controller) finish() {
 	}
 }
 
-// tag records a request's tenant for per-tenant accounting.
-func (c *controller) tag(id int64, tenant string) {
+// tenantFor returns (creating if needed) a tenant's aggregate,
+// registering first-seen order.
+func (c *controller) tenantFor(tenant string) *tenantAgg {
 	if c.tenantOf == nil {
 		c.tenantOf = make(map[int64]string)
 		c.tenants = make(map[string]*tenantAgg)
 	}
-	if _, ok := c.tenants[tenant]; !ok {
-		c.tenants[tenant] = &tenantAgg{}
+	agg, ok := c.tenants[tenant]
+	if !ok {
+		agg = &tenantAgg{}
+		c.tenants[tenant] = agg
 		c.order = append(c.order, tenant)
 	}
+	return agg
+}
+
+// tag records an admitted request's tenant for per-tenant accounting.
+// Only admitted requests enter tenantOf: the entry is the request's
+// in-flight marker and is deleted on completion (rejected requests
+// never complete, so mapping them would leak one entry per rejection).
+func (c *controller) tag(id int64, tenant string) {
+	c.tenantFor(tenant).admitted++
 	c.tenantOf[id] = tenant
-	c.tenants[tenant].admitted++
 }
 
 // tenantStats renders the per-tenant breakdown in first-seen order.
@@ -143,6 +176,7 @@ func (c *controller) tenantStats(slo float64) []TenantStats {
 		ts := TenantStats{
 			Name:        name,
 			Admitted:    agg.admitted,
+			Rejected:    agg.rejected,
 			Completions: agg.completed,
 			Latency:     stats.Summarize(agg.latencies),
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/coe"
+	"repro/internal/control"
 	"repro/internal/executor"
 	"repro/internal/hw"
 	"repro/internal/memory"
@@ -25,6 +26,14 @@ import (
 // consecutive Serve calls warm-restart the system, reusing the expert
 // pools (and host cache) exactly as the previous stream left them
 // instead of rebuilding the world per run.
+//
+// The System is the data plane; the control plane (internal/control)
+// plugs in through two seams: Config.Admission decides per arrival
+// whether dispatch sees the request at all, and Config.Autoscaler
+// resizes the active executor set — the prefix of each kind's executors
+// that dispatch assigns to — once per utilization window. Deactivated
+// executors keep draining already-assigned work and keep their expert
+// pools warm, so scaling back up reuses loaded experts.
 type System struct {
 	cfg      Config
 	m        *coe.Model
@@ -38,6 +47,15 @@ type System struct {
 	assigner  sched.Assigner
 
 	gpuActs, cpuActs *memory.Arena
+
+	// activeGPU/activeCPU count the executors dispatch may assign to;
+	// activeQueues is their queue set (aliasing queues when everything is
+	// active) and activeIdx maps its positions back to global queue
+	// indices (nil when the sets coincide). The counts persist across
+	// consecutive streams — the autoscaler's between-stream resizing.
+	activeGPU, activeCPU int
+	activeQueues         []*sched.Queue
+	activeIdx            []int
 
 	ctrl    *controller
 	picks   []int
@@ -199,8 +217,78 @@ func NewSystem(cfg Config, m *coe.Model) (*System, error) {
 		}
 	}
 
+	s.recorder.SetWindow(cfg.Window)
+	s.setActive(cfg.GPUExecutors, cfg.CPUExecutors)
 	s.initializeExperts()
 	return s, nil
+}
+
+// setActive resizes the active executor set to the first gpu GPU and
+// first cpu CPU executors, clamped to the built topology (at least one
+// GPU executor stays active). Queues outside the active set stop
+// receiving assignments but their executors keep draining queued work,
+// and their pools keep loaded experts resident for later reactivation.
+func (s *System) setActive(gpu, cpu int) {
+	gpu = min(max(gpu, 1), s.cfg.GPUExecutors)
+	cpu = min(max(cpu, 0), s.cfg.CPUExecutors)
+	s.activeGPU, s.activeCPU = gpu, cpu
+	if gpu == s.cfg.GPUExecutors && cpu == s.cfg.CPUExecutors {
+		s.activeQueues, s.activeIdx = s.queues, nil
+		return
+	}
+	if s.activeIdx == nil {
+		s.activeQueues = nil // was aliasing s.queues; start a private set
+	}
+	s.activeQueues, s.activeIdx = s.activeQueues[:0], s.activeIdx[:0]
+	for i := 0; i < gpu; i++ {
+		s.activeQueues = append(s.activeQueues, s.queues[i])
+		s.activeIdx = append(s.activeIdx, i)
+	}
+	for i := 0; i < cpu; i++ {
+		gi := s.cfg.GPUExecutors + i
+		s.activeQueues = append(s.activeQueues, s.queues[gi])
+		s.activeIdx = append(s.activeIdx, gi)
+	}
+}
+
+// Active reports the active executor counts per kind — the topology the
+// autoscaler has currently selected.
+func (s *System) Active() (gpu, cpu int) { return s.activeGPU, s.activeCPU }
+
+// Queued implements control.View: the backlog across active queues.
+func (s *System) Queued() int {
+	n := 0
+	for _, q := range s.activeQueues {
+		n += q.Len()
+	}
+	return n
+}
+
+// PredictLatency implements control.View: the predicted end-to-end
+// latency of a request admitted now. Its current stage is priced as the
+// best queue's predicted finish time plus the stage's predicted added
+// cost (sched.Queue.Predict); remaining stages add their best-queue
+// predicted cost alone — optimistic, which is the right bias for
+// shedding: a request rejected under an optimistic prediction was
+// certain to miss.
+func (s *System) PredictLatency(r *coe.Request) time.Duration {
+	now := s.env.Now()
+	var total time.Duration
+	for stage := r.Stage(); stage < r.Stages(); stage++ {
+		e := s.m.Expert(r.Chain[stage])
+		best := time.Duration(-1)
+		for _, q := range s.activeQueues {
+			d := q.Predict(e)
+			if stage == r.Stage() {
+				d += q.FinishTime(now).Sub(now)
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total
 }
 
 // initializeExperts preloads experts into pools round-robin in
@@ -261,17 +349,31 @@ func (s *System) LoadedExperts() int {
 }
 
 // dispatch assigns a request's current stage to a queue (§4.2). The
-// wall-clock cost of the decision is the Figure 19 scheduling overhead.
+// assigner only sees the active queue set — the autoscaler's scaling
+// hook — and picks are recorded as global queue indices. The wall-clock
+// cost of the decision is the Figure 19 scheduling overhead.
 func (s *System) dispatch(r *coe.Request) {
 	e := s.m.Expert(r.Expert())
 	var start time.Time
 	if s.measure {
 		start = time.Now()
 	}
-	idx := s.assigner.Pick(s.env.Now(), s.queues, e)
+	idx := s.assigner.Pick(s.env.Now(), s.activeQueues, e)
+	if s.activeIdx != nil {
+		idx = s.activeIdx[idx]
+	}
 	s.queues[idx].Enqueue(e, r)
 	if s.measure {
 		s.recorder.SchedOp(time.Since(start))
+	}
+	if s.cfg.Admission != nil {
+		// The backlog bound the control plane enforced, observable as the
+		// report's peak queue depth. Sampled on every dispatch — arrivals
+		// and stage re-dispatches — only when the control plane is on, so
+		// the bare data path does not pay for it.
+		if q := s.Queued(); q > s.ctrl.peakQueued {
+			s.ctrl.peakQueued = q
+		}
 	}
 	s.picks = append(s.picks, idx)
 	if s.cfg.Trace != nil {
@@ -314,6 +416,12 @@ func (s *System) Serve(src workload.Source) (*Report, error) {
 		// second stream would run past it.
 		return nil, fmt.Errorf("core: a pre-scheduled (replay) system serves exactly one stream")
 	}
+	if workload.IsUnbounded(src) {
+		// An infinite source would keep the arrival process alive forever;
+		// the admission loop has no way to stop it.
+		return nil, fmt.Errorf("core: stream %q is unbounded; wrap it in workload.Horizon to give it a terminating horizon",
+			src.Name())
+	}
 	if m, ok := src.(interface{ Model() *coe.Model }); ok && m.Model() != nil && m.Model() != s.m {
 		return nil, fmt.Errorf("core: stream %q draws from model %q, system serves %q",
 			src.Name(), m.Model().Name(), s.m.Name())
@@ -337,6 +445,9 @@ func (s *System) Serve(src workload.Source) (*Report, error) {
 	}
 	s.runs++
 	s.ctrl = newController(s, src)
+	if s.cfg.Admission != nil {
+		s.cfg.Admission.Reset(s.env.Now())
+	}
 	if s.cfg.Trace != nil {
 		// Delimit consecutive streams: request IDs restart per stream.
 		s.cfg.Trace.Add(trace.Event{
@@ -348,6 +459,9 @@ func (s *System) Serve(src workload.Source) (*Report, error) {
 		ex := ex
 		s.env.Go(ex.Name, ex.Run)
 	}
+	if s.cfg.Autoscaler != nil {
+		s.env.Go("autoscale", s.autoscale)
+	}
 	s.env.Go("arrivals", s.ctrl.admit)
 	s.env.Run()
 
@@ -357,6 +471,50 @@ func (s *System) Serve(src workload.Source) (*Report, error) {
 		return nil, s.broken
 	}
 	return s.report(src.Name()), nil
+}
+
+// autoscale is the control-plane process: once per window it samples
+// each kind's busy fraction over the window and the standing backlog,
+// asks the autoscaler for the desired active counts, and applies them.
+// The active counts persist across consecutive streams, so a follow-up
+// stream starts on the topology the previous one converged to — with
+// the deactivated executors' pools still warm.
+func (s *System) autoscale(p *sim.Proc) {
+	window := s.cfg.Window
+	lastBusy := make([]time.Duration, len(s.executors))
+	for i, ex := range s.executors {
+		lastBusy[i] = ex.BusyTime()
+	}
+	for {
+		p.Sleep(window)
+		if s.ctrl.finished {
+			return
+		}
+		// Busy fraction per kind over the window's active executors.
+		// Inactive executors may still be draining leftover work; their
+		// snapshots advance but do not count toward utilization.
+		busyOver := func(from, count int) float64 {
+			var busy time.Duration
+			for i := from; i < from+count; i++ {
+				busy += s.executors[i].BusyTime() - lastBusy[i]
+			}
+			if count == 0 {
+				return 0
+			}
+			return busy.Seconds() / (window.Seconds() * float64(count))
+		}
+		u := control.Utilization{
+			Window:  window,
+			GPUBusy: busyOver(0, s.activeGPU),
+			CPUBusy: busyOver(s.cfg.GPUExecutors, s.activeCPU),
+			Queued:  s.Queued(),
+		}
+		for i, ex := range s.executors {
+			lastBusy[i] = ex.BusyTime()
+		}
+		g, c := s.cfg.Autoscaler.Scale(p.Now(), u, s.activeGPU, s.activeCPU)
+		s.setActive(g, c)
+	}
 }
 
 // Runs reports how many streams the system has served.

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -28,8 +29,10 @@ type PoolStats struct {
 
 // TenantStats is one tenant's slice of a multi-tenant stream report.
 type TenantStats struct {
-	Name        string
-	Admitted    int64
+	Name     string
+	Admitted int64
+	// Rejected counts the tenant's requests dropped by admission control.
+	Rejected    int64
 	Completions int64
 	// Latency summarizes the tenant's end-to-end latency in seconds.
 	Latency stats.Summary
@@ -46,7 +49,17 @@ type Report struct {
 	// the source name otherwise).
 	Task string
 
-	N           int64
+	// N counts admitted requests; Offered additionally counts the
+	// requests admission control rejected, so Offered = N + Rejected.
+	N        int64
+	Offered  int64
+	Rejected int64
+	// RejectionRate is Rejected / Offered (0 when nothing was offered).
+	RejectionRate float64
+	// PeakQueued is the largest backlog observed at any dispatch instant
+	// (0 when no admission policy was configured — the data plane does
+	// not pay for the sampling unless the control plane is on).
+	PeakQueued  int
 	Completions int64
 	Makespan    time.Duration
 	// Throughput is completed images per second — the paper's primary
@@ -74,6 +87,14 @@ type Report struct {
 	// arrival order. Nil for single-tenant streams.
 	PerTenant []TenantStats
 
+	// Windows is the stream's sliding-interval series (arrivals,
+	// completions, rejections, mean latency per window); nil unless
+	// Config.Window enabled windowed metrics.
+	Windows []metrics.Window
+	// ActiveGPU and ActiveCPU are the active executor counts at stream
+	// end — where the autoscaler (if any) left the topology.
+	ActiveGPU, ActiveCPU int
+
 	// SchedPerOp is the mean wall-clock cost of one scheduling decision;
 	// InferPerStage is the mean virtual processing time (execution plus
 	// loading) per pipeline stage (Figure 19).
@@ -96,6 +117,11 @@ func (s *System) report(stream string) *Report {
 		Device:        s.cfg.Device.Name,
 		Task:          stream,
 		N:             s.recorder.Arrivals(),
+		Offered:       s.recorder.Arrivals() + s.recorder.Rejections(),
+		Rejected:      s.recorder.Rejections(),
+		PeakQueued:    s.ctrl.peakQueued,
+		ActiveGPU:     s.activeGPU,
+		ActiveCPU:     s.activeCPU,
 		Completions:   s.recorder.Completions(),
 		Makespan:      s.recorder.Makespan(),
 		Throughput:    s.recorder.Throughput(),
@@ -106,6 +132,14 @@ func (s *System) report(stream string) *Report {
 		SchedPerOp:    s.recorder.SchedPerOp(),
 		SchedOps:      s.recorder.SchedOps(),
 		Picks:         append([]int(nil), s.picks...),
+	}
+	if r.Offered > 0 {
+		r.RejectionRate = float64(r.Rejected) / float64(r.Offered)
+	}
+	if ws := s.recorder.Windows(); len(ws) > 0 {
+		// Copy: the recorder reuses its window buffer across warm
+		// restarts, and reports must outlive the next stream.
+		r.Windows = append([]metrics.Window(nil), ws...)
 	}
 	var busy, load time.Duration
 	for _, ex := range s.executors {

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// overloadHorizon is the steady-state window each serve-overload point
+// offers load for; the system then drains whatever it admitted.
+const overloadHorizon = 10 * time.Second
+
+// overloadPolicies names the admission policies the overload sweep
+// compares; the table's policy column comes from each built policy's
+// own Name(), so the knobs below have a single source of truth.
+func overloadPolicies() []string {
+	return []string{"accept", "bounded", "token", "shed"}
+}
+
+// newOverloadPolicy builds a fresh policy instance for one sweep point
+// (policies carry per-stream state, so points must not share them).
+// Knobs are sized to CoServe casual's capacity on the NUMA device (it
+// saturates near 12 img/s on board A, see serve-load): the queue bound
+// caps the backlog at a few seconds of service, the token bucket admits
+// at just under capacity, and shedding drops requests predicted to miss
+// the serve SLO.
+func newOverloadPolicy(name string) (control.AdmissionPolicy, error) {
+	return control.PolicyByName(name, control.PolicyOptions{
+		QueueBound: 32,
+		Rate:       10, Burst: 5,
+		Objective: serveSLO,
+	})
+}
+
+// ServeOverload sweeps offered steady-state load through the saturation
+// knee and compares admission policies: past the knee, accept-all's
+// queues and latencies grow with the backlog while the rejecting
+// policies hold the backlog bounded and keep the admitted requests'
+// attainment up — trading a nonzero rejection rate for goodput
+// (SLO-meeting completions per second). Each (rate, policy) point is an
+// independent System fed an infinite Steady source bounded by a
+// horizon, so every point is one job and the table is byte-identical at
+// every worker count.
+func ServeOverload(ctx *Context) (*Table, error) {
+	t := &Table{
+		ID:    "serve-overload",
+		Title: fmt.Sprintf("Overload: admission policies vs offered steady load, NUMA board A, CoServe casual (SLO %v, %v horizon)", serveSLO, overloadHorizon),
+		Columns: []string{"offered req/s", "policy", "offered", "admitted", "rejected", "reject%",
+			"goodput", "attainment", "p99", "peak queue"},
+		Notes: []string{
+			"offered load runs for the horizon; goodput = SLO-meeting completions per second of makespan",
+			"past the saturation knee accept-all admits everything and attainment collapses; the rejecting policies bound the backlog (peak queue) and shed the excess",
+		},
+	}
+	board, err := ctx.Board(workload.BoardA())
+	if err != nil {
+		return nil, err
+	}
+	type pointJob struct {
+		rate   float64
+		policy string
+	}
+	var jobs []pointJob
+	for _, rate := range []float64{2, 10, 40} {
+		for _, p := range overloadPolicies() {
+			jobs = append(jobs, pointJob{rate, p})
+		}
+	}
+	rows, err := runner.Sweep(ctx.par, jobs, func(_ int, j pointJob) ([]string, error) {
+		cfg, err := ctx.serveConfig(hw.NUMADevice(), core.CoServe)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Admission, err = newOverloadPolicy(j.policy)
+		if err != nil {
+			return nil, err
+		}
+		label := cfg.Admission.Name()
+		cfg.Window = 500 * time.Millisecond
+		sys, err := core.NewSystem(cfg, board.Model)
+		if err != nil {
+			return nil, err
+		}
+		src, err := workload.Steady{
+			Name: fmt.Sprintf("steady-%g", j.rate), Board: board,
+			Rate: j.rate, Seed: 20260729,
+		}.NewSource()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.Serve(workload.Horizon(src, overloadHorizon))
+		if err != nil {
+			return nil, fmt.Errorf("serve-overload %s @%g: %w", label, j.rate, err)
+		}
+		goodput := rep.SLOAttainment * rep.Throughput
+		return []string{
+			fmt.Sprintf("%g", j.rate), label,
+			fmt.Sprintf("%d", rep.Offered),
+			fmt.Sprintf("%d", rep.N),
+			fmt.Sprintf("%d", rep.Rejected),
+			fmt.Sprintf("%.1f%%", 100*rep.RejectionRate),
+			fmt.Sprintf("%.1f", goodput),
+			fmt.Sprintf("%.1f%%", 100*rep.SLOAttainment),
+			fmt.Sprintf("%.3fs", rep.Latency.P99),
+			fmt.Sprintf("%d", rep.PeakQueued),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}

@@ -26,6 +26,7 @@ func serveRegistry() []Experiment {
 		{"serve-load", "serving", "throughput and p99 latency vs offered Poisson load, per variant", ServeLoad},
 		{"serve-warm", "serving", "warm restart: consecutive tasks on one system vs cold rebuilds", ServeWarm},
 		{"serve-mix", "serving", "multi-tenant mix of board A and B streams on one merged model", ServeMix},
+		{"serve-overload", "serving", "admission policies (accept-all, bounded queue, token bucket, SLO shed) vs offered load past the knee", ServeOverload},
 	}
 }
 

@@ -48,6 +48,65 @@ func TestServeLoadSaturates(t *testing.T) {
 	}
 }
 
+// TestServeOverloadShedsPastKnee is the overload experiment's
+// acceptance contract: past the saturation knee the rejecting policies
+// show a nonzero rejection rate and a bounded backlog, while
+// accept-all's backlog dwarfs them; deadline shedding keeps the
+// admitted requests' attainment high.
+func TestServeOverloadShedsPastKnee(t *testing.T) {
+	tb := runExp(t, "serve-overload")
+	if len(tb.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (3 rates x 4 policies)", len(tb.Rows))
+	}
+	// Collect the highest-rate block (past the knee).
+	rows := map[string]int{}
+	for i, row := range tb.Rows {
+		if row[0] == "40" {
+			rows[row[1]] = i
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("policies at rate 40 = %d, want 4", len(rows))
+	}
+	acceptPeak := cellFloat(t, tb, rows["accept-all"], "peak queue")
+	if got := cellFloat(t, tb, rows["accept-all"], "reject%"); got != 0 {
+		t.Errorf("accept-all rejected %.1f%%, want 0", got)
+	}
+	rejecting := 0
+	for _, policy := range []string{"bounded-32", "token-10", "shed-500ms"} {
+		i := rows[policy]
+		rej := cellFloat(t, tb, i, "reject%")
+		peak := cellFloat(t, tb, i, "peak queue")
+		if rej <= 0 {
+			t.Errorf("%s: rejection rate %.1f%% past the knee, want > 0", policy, rej)
+			continue
+		}
+		rejecting++
+		if peak >= acceptPeak/2 {
+			t.Errorf("%s: peak queue %.0f not clearly bounded vs accept-all's %.0f", policy, peak, acceptPeak)
+		}
+	}
+	if rejecting < 2 {
+		t.Errorf("only %d policies reject past the knee, want at least 2", rejecting)
+	}
+	// Offered = admitted + rejected on every row.
+	for i, row := range tb.Rows {
+		offered := cellFloat(t, tb, i, "offered")
+		admitted := cellFloat(t, tb, i, "admitted")
+		rejected := cellFloat(t, tb, i, "rejected")
+		if offered != admitted+rejected {
+			t.Errorf("row %v: offered %v != admitted %v + rejected %v", row[:2], offered, admitted, rejected)
+		}
+	}
+	// Shedding protects the admitted requests' SLO attainment.
+	if shed := cellFloat(t, tb, rows["shed-500ms"], "attainment"); shed < 50 {
+		t.Errorf("shed attainment %.1f%% past the knee, want > 50%%", shed)
+	}
+	if accept := cellFloat(t, tb, rows["accept-all"], "attainment"); accept > 20 {
+		t.Errorf("accept-all attainment %.1f%% past the knee; overload regime not reached", accept)
+	}
+}
+
 // TestServeWarmCutsSwitches: the warm second run must switch fewer
 // experts than both its own first run and a cold rebuild (CoServe rows).
 func TestServeWarmCutsSwitches(t *testing.T) {

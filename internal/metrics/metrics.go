@@ -11,15 +11,48 @@ import (
 	"repro/internal/stats"
 )
 
+// Window is one fixed-width interval of a stream's windowed series:
+// arrivals, completions, rejections, and summed completion latency that
+// fell inside it. Start is the window's left edge as an offset from the
+// stream's first recorded event, so consecutive warm-restarted streams
+// each produce a series starting near zero.
+type Window struct {
+	Start       time.Duration
+	Arrivals    int64
+	Completions int64
+	Rejections  int64
+	// LatencySum is the summed end-to-end latency (seconds) of the
+	// window's completions.
+	LatencySum float64
+}
+
+// MeanLatency reports the window's mean completion latency in seconds
+// (0 when nothing completed).
+func (w Window) MeanLatency() float64 {
+	if w.Completions == 0 {
+		return 0
+	}
+	return w.LatencySum / float64(w.Completions)
+}
+
 // Recorder accumulates the metrics of one task run.
 type Recorder struct {
 	arrivals    int64
 	completions int64
+	rejections  int64
 	stages      int64
 
 	firstArrival   sim.Time
 	lastCompletion sim.Time
 	haveArrival    bool
+
+	// window, when positive, enables the sliding-interval series: every
+	// arrival, completion, and rejection is also bucketed into
+	// fixed-width windows offset from the stream's first event.
+	window     time.Duration
+	origin     sim.Time
+	haveOrigin bool
+	windows    []Window
 
 	// latencies holds per-request end-to-end latency in seconds.
 	latencies []float64
@@ -40,11 +73,48 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // their latency samples. It invalidates any slice previously returned by
 // Latencies.
 func (r *Recorder) Reset() {
-	r.arrivals, r.completions, r.stages = 0, 0, 0
+	r.arrivals, r.completions, r.rejections, r.stages = 0, 0, 0, 0
 	r.firstArrival, r.lastCompletion = 0, 0
 	r.haveArrival = false
+	r.haveOrigin = false
+	r.windows = r.windows[:0]
 	r.latencies = r.latencies[:0]
 	r.schedWall, r.schedOps = 0, 0
+}
+
+// SetWindow enables (d > 0) or disables (d <= 0) the windowed series.
+// The setting survives Reset, so warm-restarted streams keep their
+// windows; changing it mid-stream is not supported.
+func (r *Recorder) SetWindow(d time.Duration) {
+	if d <= 0 {
+		d = 0
+	}
+	r.window = d
+}
+
+// Window reports the configured window width (0 when disabled).
+func (r *Recorder) Window() time.Duration { return r.window }
+
+// Windows returns the stream's windowed series in time order, including
+// interior windows with no events. Callers must not modify the returned
+// slice, and must not hold it across a Reset.
+func (r *Recorder) Windows() []Window { return r.windows }
+
+// bucket returns the window covering virtual time t, growing the series
+// as needed; nil when the windowed series is disabled. The first
+// recorded event anchors the series origin.
+func (r *Recorder) bucket(t sim.Time) *Window {
+	if r.window <= 0 {
+		return nil
+	}
+	if !r.haveOrigin {
+		r.origin, r.haveOrigin = t, true
+	}
+	idx := int(t.Sub(r.origin) / r.window)
+	for len(r.windows) <= idx {
+		r.windows = append(r.windows, Window{Start: time.Duration(len(r.windows)) * r.window})
+	}
+	return &r.windows[idx]
 }
 
 // Arrival records a request entering the system at virtual time t.
@@ -54,7 +124,23 @@ func (r *Recorder) Arrival(t sim.Time) {
 		r.haveArrival = true
 	}
 	r.arrivals++
+	if w := r.bucket(t); w != nil {
+		w.Arrivals++
+	}
 }
+
+// Rejection records admission control rejecting a request at virtual
+// time t. Rejected requests touch nothing else in the recorder: they
+// are not arrivals, do not complete, and carry no latency sample.
+func (r *Recorder) Rejection(t sim.Time) {
+	r.rejections++
+	if w := r.bucket(t); w != nil {
+		w.Rejections++
+	}
+}
+
+// Rejections reports the number of requests admission control rejected.
+func (r *Recorder) Rejections() int64 { return r.rejections }
 
 // StageDone records the completion of one pipeline stage.
 func (r *Recorder) StageDone() { r.stages++ }
@@ -66,7 +152,12 @@ func (r *Recorder) Completion(arrival, t sim.Time) {
 	if t > r.lastCompletion {
 		r.lastCompletion = t
 	}
-	r.latencies = append(r.latencies, t.Sub(arrival).Seconds())
+	lat := t.Sub(arrival).Seconds()
+	r.latencies = append(r.latencies, lat)
+	if w := r.bucket(t); w != nil {
+		w.Completions++
+		w.LatencySum += lat
+	}
 }
 
 // SchedOp records one scheduling decision that took wall-clock duration d.

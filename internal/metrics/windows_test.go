@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestWindowedSeriesBuckets(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(time.Second)
+	// Stream starts at virtual t=10s (a warm restart); the origin is the
+	// first event, so windows still start at offset 0.
+	base := sim.Time(10 * time.Second)
+	r.Arrival(base)
+	r.Rejection(base.Add(200 * time.Millisecond))
+	r.Arrival(base.Add(500 * time.Millisecond))
+	r.Completion(base, base.Add(800*time.Millisecond)) // 0.8s latency, window 0
+	// Window 2 (2s..3s): one late completion; window 1 stays empty.
+	r.Arrival(base.Add(2100 * time.Millisecond))
+	r.Completion(base.Add(2100*time.Millisecond), base.Add(2600*time.Millisecond))
+
+	ws := r.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	w0, w1, w2 := ws[0], ws[1], ws[2]
+	if w0.Arrivals != 2 || w0.Rejections != 1 || w0.Completions != 1 {
+		t.Errorf("window 0 = %+v, want 2 arrivals, 1 rejection, 1 completion", w0)
+	}
+	if got := w0.MeanLatency(); got < 0.79 || got > 0.81 {
+		t.Errorf("window 0 mean latency = %v, want ~0.8", got)
+	}
+	if w1.Arrivals != 0 || w1.Completions != 0 || w1.Rejections != 0 {
+		t.Errorf("interior window 1 = %+v, want empty", w1)
+	}
+	if w1.Start != time.Second || w2.Start != 2*time.Second {
+		t.Errorf("window starts = %v, %v; want 1s, 2s", w1.Start, w2.Start)
+	}
+	if w2.Completions != 1 || w2.Arrivals != 1 {
+		t.Errorf("window 2 = %+v, want 1 arrival, 1 completion", w2)
+	}
+	if r.Rejections() != 1 {
+		t.Errorf("rejections = %d, want 1", r.Rejections())
+	}
+}
+
+func TestWindowedSeriesDisabledByDefault(t *testing.T) {
+	r := NewRecorder()
+	r.Arrival(0)
+	r.Rejection(0)
+	r.Completion(0, sim.Time(time.Second))
+	if len(r.Windows()) != 0 {
+		t.Errorf("windowed series recorded without SetWindow: %d windows", len(r.Windows()))
+	}
+	if r.Window() != 0 {
+		t.Errorf("default window = %v, want 0", r.Window())
+	}
+	if r.Rejections() != 1 {
+		t.Errorf("rejections = %d, want 1 (counter works without windows)", r.Rejections())
+	}
+}
+
+// TestWindowedSeriesResetSurvives pins the warm-restart contract: Reset
+// clears the series and re-anchors the origin but keeps the window
+// setting and the slice capacity.
+func TestWindowedSeriesResetSurvives(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(500 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		r.Arrival(sim.Time(i) * sim.Time(time.Second))
+	}
+	grown := cap(r.windows)
+	r.Reset()
+	if len(r.Windows()) != 0 || r.Rejections() != 0 {
+		t.Fatalf("Reset left windows/rejections: %d/%d", len(r.Windows()), r.Rejections())
+	}
+	if r.Window() != 500*time.Millisecond {
+		t.Errorf("Reset dropped the window setting: %v", r.Window())
+	}
+	if cap(r.windows) != grown {
+		t.Errorf("Reset dropped window capacity: %d -> %d", grown, cap(r.windows))
+	}
+	// A second stream starting at a later virtual time re-anchors at 0.
+	r.Arrival(sim.Time(100 * time.Second))
+	ws := r.Windows()
+	if len(ws) != 1 || ws[0].Start != 0 {
+		t.Errorf("second stream windows = %+v, want a single window at 0", ws)
+	}
+	// Rejection as the first event also anchors the origin.
+	r.Reset()
+	r.Rejection(sim.Time(200 * time.Second))
+	if ws := r.Windows(); len(ws) != 1 || ws[0].Rejections != 1 {
+		t.Errorf("rejection-first stream windows = %+v", ws)
+	}
+	r.SetWindow(0)
+	if r.Window() != 0 {
+		t.Errorf("SetWindow(0) did not disable: %v", r.Window())
+	}
+}

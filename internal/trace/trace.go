@@ -26,6 +26,9 @@ const (
 	KindBatch Kind = "batch"
 	// KindComplete: a request finished its final stage.
 	KindComplete Kind = "complete"
+	// KindRejected: admission control rejected an arriving request. The
+	// request never touches a queue; this is its only trace of existence.
+	KindRejected Kind = "rejected"
 	// KindStream: a new stream began serving (warm restarts append
 	// consecutive streams to one log; request IDs restart per stream,
 	// so consumers must pair arrivals to completions within stream

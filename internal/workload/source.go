@@ -227,6 +227,108 @@ func (s *burstySource) Next() (TimedRequest, bool) {
 	return tr, true
 }
 
+// Steady is an infinite open-loop Poisson arrival process: the
+// steady-state counterpart of Poisson, for serving runs that measure
+// windowed long-run behavior instead of a fixed request count. A Steady
+// stream never closes on its own — it must be bounded by a Horizon
+// before the serving layer will accept it, and Drain refuses it.
+type Steady struct {
+	Name string
+	// Board supplies the class distribution and routing rules.
+	Board *Board
+	// Rate is the offered load in requests per second.
+	Rate float64
+	// Seed drives both the arrival gaps and the request contents.
+	Seed int64
+}
+
+type steadySource struct {
+	spec    Steady
+	sampler sampler
+	at      time.Duration
+}
+
+// NewSource validates the spec and returns the (unbounded) stream.
+func (s Steady) NewSource() (Source, error) {
+	if s.Board == nil {
+		return nil, fmt.Errorf("workload: steady %q needs a board", s.Name)
+	}
+	if s.Rate <= 0 {
+		return nil, fmt.Errorf("workload: steady %q rate %f must be positive", s.Name, s.Rate)
+	}
+	return &steadySource{
+		spec:    s,
+		sampler: sampler{board: s.Board, rng: rand.New(rand.NewSource(s.Seed))},
+	}, nil
+}
+
+func (s *steadySource) Name() string { return s.spec.Name }
+
+// Model reports the CoE model the stream's chains route over.
+func (s *steadySource) Model() *coe.Model { return s.spec.Board.Model }
+
+// Unbounded marks the stream as infinite: it must be wrapped in a
+// Horizon before serving or draining.
+func (s *steadySource) Unbounded() bool { return true }
+
+func (s *steadySource) Next() (TimedRequest, bool) {
+	r, err := s.sampler.draw()
+	if err != nil {
+		panic("workload: steady stream routing failed: " + err.Error())
+	}
+	gap := s.sampler.rng.ExpFloat64() / s.spec.Rate
+	s.at += time.Duration(gap * float64(time.Second))
+	return TimedRequest{Req: r, At: s.at}, true
+}
+
+// Horizon bounds a source at a virtual-time horizon: the wrapped stream
+// ends with the last request arriving at or before d. It is how an
+// infinite steady-state source (Steady) terminates — the serving layer
+// then drains the admitted backlog and reports as usual. Wrapping a
+// finite source simply truncates it.
+func Horizon(src Source, d time.Duration) Source {
+	if d < 0 {
+		panic("workload: negative horizon")
+	}
+	return &horizonSource{src: src, limit: d}
+}
+
+type horizonSource struct {
+	src    Source
+	limit  time.Duration
+	closed bool
+}
+
+func (h *horizonSource) Name() string { return h.src.Name() }
+
+// Model forwards the wrapped source's model, if it exposes one.
+func (h *horizonSource) Model() *coe.Model {
+	if m, ok := h.src.(interface{ Model() *coe.Model }); ok {
+		return m.Model()
+	}
+	return nil
+}
+
+func (h *horizonSource) Next() (TimedRequest, bool) {
+	if h.closed {
+		return TimedRequest{}, false
+	}
+	tr, ok := h.src.Next()
+	if !ok || tr.At > h.limit {
+		h.closed = true
+		return TimedRequest{}, false
+	}
+	return tr, true
+}
+
+// IsUnbounded reports whether the source yields an infinite stream (it
+// implements `Unbounded() bool` and reports true). Unbounded sources
+// must be wrapped in a Horizon before they are served or drained.
+func IsUnbounded(src Source) bool {
+	u, ok := src.(interface{ Unbounded() bool })
+	return ok && u.Unbounded()
+}
+
 // Mix interleaves several tenants' streams into one multi-tenant stream
 // ordered by arrival time, with ties broken by tenant order. Request IDs
 // are renumbered to be unique across the mix; each request is tagged
@@ -294,6 +396,18 @@ func (s *mixSource) Name() string { return s.name }
 // exposes one).
 func (s *mixSource) Model() *coe.Model { return s.model }
 
+// Unbounded reports whether any tenant's stream is infinite: a mix
+// containing one unbounded tenant never closes, so it needs a Horizon
+// just like the tenant itself would.
+func (s *mixSource) Unbounded() bool {
+	for _, t := range s.tenants {
+		if IsUnbounded(t) {
+			return true
+		}
+	}
+	return false
+}
+
 func (s *mixSource) Next() (TimedRequest, bool) {
 	best := -1
 	for i := range s.tenants {
@@ -317,14 +431,28 @@ func (s *mixSource) Next() (TimedRequest, bool) {
 	return tr, true
 }
 
+// DrainCap is Drain's defensive bound: a source still yielding past
+// this many requests is treated as unbounded.
+const DrainCap = 1 << 22
+
 // Drain materializes a source into a slice — handy for tests and for
-// callers that need the stream length upfront.
+// callers that need the stream length upfront. It refuses unbounded
+// sources (IsUnbounded): draining an infinite stream would never
+// return, so it panics immediately with instructions to wrap the source
+// in a Horizon, and panics likewise if a source that did not declare
+// itself unbounded still yields past DrainCap requests.
 func Drain(src Source) []TimedRequest {
+	if IsUnbounded(src) {
+		panic(fmt.Sprintf("workload: Drain on unbounded source %q would never return; wrap it in workload.Horizon first", src.Name()))
+	}
 	var out []TimedRequest
 	for {
 		tr, ok := src.Next()
 		if !ok {
 			return out
+		}
+		if len(out) >= DrainCap {
+			panic(fmt.Sprintf("workload: Drain exceeded %d requests on source %q; an unbounded source must be wrapped in workload.Horizon", DrainCap, src.Name()))
 		}
 		out = append(out, tr)
 	}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/coe"
+)
+
+// TestSteadyMatchesPoissonPrefix pins the rng-consumption contract: a
+// Steady stream is the infinite extension of Poisson — same seed, same
+// rate, identical requests and arrival instants for any finite prefix.
+func TestSteadyMatchesPoissonPrefix(t *testing.T) {
+	board := buildA(t)
+	finite, err := Poisson{Name: "p", Board: board, Rate: 25, N: 200, Seed: 42}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	infinite, err := Steady{Name: "s", Board: board, Rate: 25, Seed: 42}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Drain(finite)
+	for i, w := range want {
+		got, ok := infinite.Next()
+		if !ok {
+			t.Fatalf("steady stream ended at %d", i)
+		}
+		if got.At != w.At || got.Req.ID != w.Req.ID || got.Req.Class != w.Req.Class {
+			t.Fatalf("request %d: steady (%v, id %d, class %d) != poisson (%v, id %d, class %d)",
+				i, got.At, got.Req.ID, got.Req.Class, w.At, w.Req.ID, w.Req.Class)
+		}
+	}
+	// And it keeps going where the finite stream stopped.
+	if _, ok := infinite.Next(); !ok {
+		t.Error("steady stream closed after the poisson prefix")
+	}
+}
+
+func TestSteadyValidation(t *testing.T) {
+	board := buildA(t)
+	if _, err := (Steady{Name: "x", Rate: 1}).NewSource(); err == nil {
+		t.Error("steady without a board accepted")
+	}
+	if _, err := (Steady{Name: "x", Board: board, Rate: 0}).NewSource(); err == nil {
+		t.Error("steady with zero rate accepted")
+	}
+}
+
+func TestHorizonBoundsSteady(t *testing.T) {
+	board := buildA(t)
+	src, err := Steady{Name: "s", Board: board, Rate: 100, Seed: 7}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsUnbounded(src) {
+		t.Fatal("steady source not reported unbounded")
+	}
+	bounded := Horizon(src, 2*time.Second)
+	if IsUnbounded(bounded) {
+		t.Error("horizon-wrapped source still reported unbounded")
+	}
+	if bounded.Name() != "s" {
+		t.Errorf("horizon renamed the stream: %q", bounded.Name())
+	}
+	items := Drain(bounded)
+	// ~100 req/s for 2s: the count is seed-dependent but must be near 200
+	// and every arrival within the horizon.
+	if len(items) < 120 || len(items) > 300 {
+		t.Errorf("drained %d requests over a 2s horizon at 100/s", len(items))
+	}
+	for i, tr := range items {
+		if tr.At > 2*time.Second {
+			t.Fatalf("request %d arrives at %v, past the 2s horizon", i, tr.At)
+		}
+	}
+	// Closed for good: Next keeps returning false.
+	if _, ok := bounded.Next(); ok {
+		t.Error("horizon source reopened after closing")
+	}
+}
+
+// TestHorizonForwardsModel: the serving layer's model check must see
+// through the wrapper.
+func TestHorizonForwardsModel(t *testing.T) {
+	board := buildA(t)
+	src, err := Steady{Name: "s", Board: board, Rate: 10, Seed: 1}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Horizon(src, time.Second)
+	m, ok := h.(interface{ Model() *coe.Model })
+	if !ok {
+		t.Fatal("horizon source does not expose Model()")
+	}
+	if m.Model() != board.Model {
+		t.Error("horizon forwards the wrong model")
+	}
+}
+
+func TestHorizonTruncatesFiniteSource(t *testing.T) {
+	board := buildA(t)
+	task := Task{Name: "t", Board: board, N: 100, ArrivalPeriod: 10 * time.Millisecond, Seed: 3}
+	src, err := task.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals are at 0, 10ms, ..., 990ms; a 95ms horizon keeps 10.
+	items := Drain(Horizon(src, 95*time.Millisecond))
+	if len(items) != 10 {
+		t.Errorf("drained %d requests, want 10", len(items))
+	}
+}
+
+// TestMixPropagatesUnboundedness: a mix with one infinite tenant is
+// itself infinite and must not slip past the serving layer's
+// unbounded-source guard.
+func TestMixPropagatesUnboundedness(t *testing.T) {
+	board := buildA(t)
+	steady, err := Steady{Name: "infinite", Board: board, Rate: 10, Seed: 1}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finite, err := Poisson{Name: "finite", Board: board, Rate: 10, N: 10, Seed: 2}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := Mix{Name: "m", Tenants: []Source{finite, steady}}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsUnbounded(mixed) {
+		t.Error("mix with an unbounded tenant not reported unbounded")
+	}
+	// A horizon over the mix bounds it again.
+	if IsUnbounded(Horizon(mixed, time.Second)) {
+		t.Error("horizon-wrapped mix still reported unbounded")
+	}
+	// An all-finite mix stays bounded.
+	f1, _ := Poisson{Name: "f1", Board: board, Rate: 10, N: 5, Seed: 3}.NewSource()
+	f2, _ := Poisson{Name: "f2", Board: board, Rate: 10, N: 5, Seed: 4}.NewSource()
+	allFinite, err := Mix{Name: "m2", Tenants: []Source{f1, f2}}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsUnbounded(allFinite) {
+		t.Error("all-finite mix reported unbounded")
+	}
+}
+
+func TestDrainRefusesUnboundedSource(t *testing.T) {
+	board := buildA(t)
+	src, err := Steady{Name: "s", Board: board, Rate: 10, Seed: 1}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Drain on an unbounded source did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Horizon") {
+			t.Errorf("panic message %v does not point at workload.Horizon", r)
+		}
+	}()
+	Drain(src)
+}
