@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci bench race bench-experiments cover
+.PHONY: all build test vet fmt-check ci bench race bench-experiments bench-cluster cover
 
 all: build
 
@@ -47,3 +47,11 @@ bench:
 # the full experiment registry, sequential vs all cores.
 bench-experiments:
 	$(GO) test -bench BenchmarkAllExperiments -benchtime 3x -run '^$$' .
+
+# bench-cluster reproduces the BENCH_cluster.json measurement: the
+# multi-node serving path at 1 and 4 nodes (plus the bare-System
+# reference it is priced against). `make bench` (and the CI bench job)
+# already executes these once; this target is the recorded baseline's
+# regeneration recipe.
+bench-cluster:
+	$(GO) test -bench 'BenchmarkClusterServe|BenchmarkPoissonServe$$' -benchtime 20x -run '^$$' .

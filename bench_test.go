@@ -9,6 +9,7 @@ import (
 	"time"
 
 	coserve "repro"
+	"repro/internal/cluster"
 	"repro/internal/coe"
 	"repro/internal/core"
 	"repro/internal/hw"
@@ -168,6 +169,62 @@ func BenchmarkPoissonServe(b *testing.B) {
 		if rep.Completions != 500 {
 			b.Fatalf("completions = %d", rep.Completions)
 		}
+	}
+}
+
+// BenchmarkClusterServe measures the multi-node serving path end to
+// end: one cluster per iteration (node construction, placement
+// planning, shared-env simulation) serving a Poisson stream through the
+// router. The 1-node case prices the cluster layer's overhead over a
+// bare System; the 4-node case is the fleet path the serve-cluster
+// experiment sweeps. Baseline in BENCH_cluster.json (`make
+// bench-cluster` regenerates the measurement).
+func BenchmarkClusterServe(b *testing.B) {
+	dev := hw.NUMADevice()
+	board, err := workload.BoardA().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, c := core.DefaultExecutors(dev)
+	node := core.Config{
+		Device: dev, Variant: core.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: core.CasualAllocation(dev, perf, g, c), Perf: perf,
+		SLO: 500 * time.Millisecond,
+	}
+	for _, nodes := range []int{1, 4} {
+		nodes := nodes
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl, err := coserve.NewCluster(coserve.ClusterConfig{
+					Nodes:     coserve.UniformNodes(nodes, node),
+					Router:    cluster.Affinity{},
+					Placement: cluster.UsageProportional{},
+					SLO:       node.SLO,
+				}, board.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src, err := workload.Poisson{
+					Name: "bench-cluster", Board: board, Rate: 40, N: 500, Seed: 99,
+				}.NewSource()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := cl.Serve(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Completions != 500 {
+					b.Fatalf("completions = %d", rep.Completions)
+				}
+			}
+		})
 	}
 }
 

@@ -16,6 +16,11 @@
 //	coserve serve -arrival steady -rate 40 -horizon 10s -slo 500ms -admit shed
 //	                                     # overload: shed predicted SLO misses
 //	coserve serve -admit bounded -queue-bound 32 -autoscale -window 250ms
+//	coserve serve -nodes 4 -router affinity -placement usage -rate 40 -slo 500ms
+//	                                     # cluster: 4 nodes, residency routing
+//	coserve serve -record trace.bin -n 500
+//	coserve serve -arrival replay -trace trace.bin -repeat 2
+//	                                     # capture, then replay bit-for-bit
 //	coserve profile -device uma          # print the performance matrix
 package main
 
@@ -82,13 +87,21 @@ commands:
                fig19's wall-clock sched-cost cells vary run to run;
                -cpuprofile/-memprofile write pprof profiles of the run)
   run          run one task under one serving system
-  serve        serve an arrival stream (poisson, fixed, bursty, mix, steady)
-               with SLOs, admission control, and executor autoscaling:
-               -admit accept|bounded|token|shed selects the admission
-               policy (-queue-bound, -admit-rate/-admit-burst, -slo set
-               its knobs), -autoscale resizes the active executor set on
-               windowed utilization, -arrival steady -horizon 10s serves
-               an infinite steady-state stream bounded by a horizon
+  serve        serve an arrival stream (poisson, fixed, bursty, mix,
+               steady, replay) with SLOs, admission control, executor
+               autoscaling, and multi-node clustering:
+               -admit accept|bounded|token|shed|tenant-quota selects the
+               admission policy (-queue-bound, -admit-rate/-admit-burst,
+               -tenant-rate/-tenant-burst, -slo set its knobs),
+               -autoscale resizes the active executor set on windowed
+               utilization (-autoscale-reachable guards scale-downs
+               against the working set), -arrival steady -horizon 10s
+               serves an infinite steady-state stream bounded by a
+               horizon, -record/-arrival replay -trace capture and
+               replay arrival traces, and -nodes N -router R
+               -placement P serves the stream across an N-node cluster
+               (-nodes 1 is the plain single-node system; router and
+               placement apply from 2 nodes up)
   profile      run the offline profiler and print the performance matrix`)
 }
 
@@ -267,7 +280,7 @@ func cmdServe(args []string) error {
 	devName := fs.String("device", "numa", "device profile: numa or uma")
 	sysName := fs.String("system", "coserve", "serving system variant")
 	boardName := fs.String("board", "A", "board: A, B, or A+B (merged multi-tenant model)")
-	arrival := fs.String("arrival", "poisson", "arrival process: poisson, fixed, bursty, mix, steady")
+	arrival := fs.String("arrival", "poisson", "arrival process: poisson, fixed, bursty, mix, steady, replay")
 	rate := fs.Float64("rate", 40, "offered load in req/s (poisson, mix, steady)")
 	period := fs.Duration("period", workload.DefaultArrivalPeriod, "interarrival period (fixed, bursty)")
 	on := fs.Duration("on", 100*time.Millisecond, "burst ON window (bursty)")
@@ -277,12 +290,20 @@ func cmdServe(args []string) error {
 	slo := fs.Duration("slo", 0, "per-request latency objective (0 = none)")
 	seed := fs.Int64("seed", 1, "stream seed")
 	repeat := fs.Int("repeat", 1, "serve the stream this many consecutive times (warm restarts)")
-	admit := fs.String("admit", "accept", "admission policy: accept, bounded, token, shed (shed needs -slo)")
+	admit := fs.String("admit", "accept", "admission policy: accept, bounded, token, shed (needs -slo), tenant-quota")
 	queueBound := fs.Int("queue-bound", 64, "backlog bound for -admit bounded")
 	admitRate := fs.Float64("admit-rate", 20, "token refill rate in req/s for -admit token")
 	admitBurst := fs.Float64("admit-burst", 10, "token burst for -admit token")
+	tenantRate := fs.Float64("tenant-rate", 10, "per-tenant refill rate in req/s for -admit tenant-quota")
+	tenantBurst := fs.Float64("tenant-burst", 5, "per-tenant token burst for -admit tenant-quota")
 	autoscale := fs.Bool("autoscale", false, "autoscale the active executor set on windowed utilization (hysteresis 0.3/0.85)")
+	reachable := fs.Bool("autoscale-reachable", false, "with -autoscale, refuse scale-downs whose surviving pools cannot hold the working set")
 	window := fs.Duration("window", 0, "windowed-metrics interval and autoscale cadence (0 = default when autoscaling, else disabled)")
+	nodes := fs.Int("nodes", 1, "cluster size: serve across this many nodes sharing one simulation (1 = single-node system)")
+	routerName := fs.String("router", "least-loaded", "cluster request router (with -nodes >= 2): least-loaded, affinity, predict")
+	placementName := fs.String("placement", "mirror", "cluster expert placement (with -nodes >= 2): mirror, partition, usage")
+	record := fs.String("record", "", "record the served arrival stream to this trace file (first round)")
+	traceFile := fs.String("trace", "", "arrival trace file to serve for -arrival replay")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -297,19 +318,41 @@ func cmdServe(args []string) error {
 	if *repeat < 1 {
 		return fmt.Errorf("repeat must be at least 1")
 	}
+	if *nodes < 1 {
+		return fmt.Errorf("nodes must be at least 1")
+	}
 	switch *arrival {
 	case "poisson", "fixed", "bursty", "mix", "steady":
+	case "replay":
+		if *traceFile == "" {
+			return fmt.Errorf("-arrival replay needs a -trace file")
+		}
 	default:
-		return fmt.Errorf("unknown arrival process %q (want poisson, fixed, bursty, mix, steady)", *arrival)
+		return fmt.Errorf("unknown arrival process %q (want poisson, fixed, bursty, mix, steady, replay)", *arrival)
 	}
 	if *admit == "shed" && *slo <= 0 {
 		return fmt.Errorf("-admit shed needs a positive -slo objective")
 	}
-	admission, err := control.PolicyByName(*admit, control.PolicyOptions{
-		QueueBound: *queueBound,
-		Rate:       *admitRate, Burst: *admitBurst,
-		Objective: *slo,
-	})
+	// Admission policies and autoscalers carry per-stream state, so every
+	// node needs its own instances; newAdmission/newAutoscaler build them.
+	newAdmission := func() (control.AdmissionPolicy, error) {
+		return control.PolicyByName(*admit, control.PolicyOptions{
+			QueueBound: *queueBound,
+			Rate:       *admitRate, Burst: *admitBurst,
+			Objective:  *slo,
+			TenantRate: *tenantRate, TenantBurst: *tenantBurst,
+		})
+	}
+	newAutoscaler := func() (control.Autoscaler, error) {
+		if !*autoscale {
+			return nil, nil
+		}
+		if *reachable {
+			return control.NewReachableHysteresisScaler(0.3, 0.85)
+		}
+		return control.NewHysteresisScaler(0.3, 0.85)
+	}
+	admission, err := newAdmission()
 	if err != nil {
 		return err
 	}
@@ -342,11 +385,30 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("unknown board %q (want A, B, or A+B)", *boardName)
 	}
 
+	// An arrival trace replays against the model the board resolved to;
+	// it is read once and re-replayed per round.
+	var arrivalTrace *workload.ArrivalTrace
+	if *arrival == "replay" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		arrivalTrace, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded arrival trace %q (%d arrivals) from %s\n",
+			arrivalTrace.Name, len(arrivalTrace.Entries), *traceFile)
+	}
+
 	// newSource builds a fresh stream per serve round (sources are
 	// single-use).
 	newSource := func(round int) (workload.Source, error) {
 		rseed := *seed + int64(round)*1000
 		switch *arrival {
+		case "replay":
+			return arrivalTrace.Replay(board.Model)
 		case "poisson":
 			return workload.Poisson{Name: "poisson", Board: board, Rate: *rate, N: *n, Seed: rseed}.NewSource()
 		case "fixed":
@@ -400,40 +462,147 @@ func cmdServe(args []string) error {
 		GPUExecutors: g, CPUExecutors: c, Perf: perf, SLO: *slo,
 		Admission: admission, Window: *window,
 	}
-	if *autoscale {
-		if cfg.Autoscaler, err = control.NewHysteresisScaler(0.3, 0.85); err != nil {
-			return err
-		}
+	if cfg.Autoscaler, err = newAutoscaler(); err != nil {
+		return err
 	}
 	cfg.Alloc = core.DefaultAllocation(variant, dev, perf, g, c)
+
+	// saveTrace writes the recorded arrival log after a served round.
+	saveTrace := func(rec *workload.RecordingSource) error {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.Trace().Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("arrival trace (%d arrivals) recorded to %s\n", len(rec.Trace().Entries), *record)
+		return nil
+	}
+
+	length := fmt.Sprintf("%d requests", *n)
+	switch *arrival {
+	case "steady":
+		length = fmt.Sprintf("%v horizon at %g req/s", *horizon, *rate)
+	case "replay":
+		length = fmt.Sprintf("%d replayed arrivals", len(arrivalTrace.Entries))
+	}
+
+	// serveRounds drives the repeat loop over any serve function.
+	serveRounds := func(where string, serve func(src workload.Source) error) error {
+		for round := 0; round < *repeat; round++ {
+			src, err := newSource(round)
+			if err != nil {
+				return err
+			}
+			var rec *workload.RecordingSource
+			if *record != "" && round == 0 {
+				rec = workload.Record(src)
+				src = rec
+			}
+			warmth := "cold pools"
+			if round > 0 {
+				warmth = "warm pools"
+			}
+			fmt.Printf("serving %s stream %d/%d (%s, %s, admit %s) on %s...\n",
+				*arrival, round+1, *repeat, length, warmth, admission.Name(), where)
+			start := time.Now()
+			if err := serve(src); err != nil {
+				return err
+			}
+			fmt.Printf("(simulated in %v of wall time)\n\n", time.Since(start).Round(time.Millisecond))
+			if rec != nil {
+				if err := saveTrace(rec); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if *nodes > 1 {
+		// Cluster path: N copies of the node config, each with its own
+		// control-plane instances, behind the requested router/placement.
+		router, err := coserve.ClusterRouterByName(*routerName)
+		if err != nil {
+			return err
+		}
+		placement, err := coserve.ClusterPlacementByName(*placementName)
+		if err != nil {
+			return err
+		}
+		nodeCfgs := make([]core.Config, *nodes)
+		for i := range nodeCfgs {
+			nc := cfg
+			if nc.Admission, err = newAdmission(); err != nil {
+				return err
+			}
+			if nc.Autoscaler, err = newAutoscaler(); err != nil {
+				return err
+			}
+			nodeCfgs[i] = nc
+		}
+		cl, err := coserve.NewCluster(coserve.ClusterConfig{
+			Nodes: nodeCfgs, Router: router, Placement: placement,
+			SLO: *slo, Window: *window,
+		}, board.Model)
+		if err != nil {
+			return err
+		}
+		where := fmt.Sprintf("%d×%s under %s (router %s, placement %s)",
+			*nodes, dev.Name, variant, router.Name(), placement.Name())
+		return serveRounds(where, func(src workload.Source) error {
+			rep, err := cl.Serve(src)
+			if err != nil {
+				return err
+			}
+			printClusterReport(rep)
+			return nil
+		})
+	}
+
 	sys, err := core.NewSystem(cfg, board.Model)
 	if err != nil {
 		return err
 	}
-	for round := 0; round < *repeat; round++ {
-		src, err := newSource(round)
-		if err != nil {
-			return err
-		}
-		warmth := "cold pools"
-		if round > 0 {
-			warmth = "warm pools"
-		}
-		length := fmt.Sprintf("%d requests", *n)
-		if *arrival == "steady" {
-			length = fmt.Sprintf("%v horizon at %g req/s", *horizon, *rate)
-		}
-		fmt.Printf("serving %s stream %d/%d (%s, %s, admit %s) on %s under %s...\n",
-			*arrival, round+1, *repeat, length, warmth, admission.Name(), dev.Name, variant)
-		start := time.Now()
+	return serveRounds(fmt.Sprintf("%s under %s", dev.Name, variant), func(src workload.Source) error {
 		rep, err := sys.Serve(src)
 		if err != nil {
 			return err
 		}
 		printReport(rep)
-		fmt.Printf("(simulated in %v of wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	})
+}
+
+// printClusterReport renders a fleet report: the cluster-wide summary
+// followed by one row per node.
+func printClusterReport(r *coserve.ClusterReport) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "cluster\t%d nodes, router %s, placement %s\n", r.Nodes, r.Router, r.Placement)
+	fmt.Fprintf(w, "stream\t%s (%d requests)\n", r.Stream, r.N)
+	if r.Rejected > 0 {
+		fmt.Fprintf(w, "admission\t%d offered, %d rejected (%.1f%%)\n", r.Offered, r.Rejected, 100*r.RejectionRate)
 	}
-	return nil
+	fmt.Fprintf(w, "throughput\t%.2f img/s (fleet)\n", r.Throughput)
+	fmt.Fprintf(w, "makespan\t%.1f s (virtual)\n", r.Makespan.Seconds())
+	fmt.Fprintf(w, "expert switches\t%d (%d from SSD, %d from host)\n", r.Switches, r.SSDLoads, r.HostHits)
+	fmt.Fprintf(w, "latency p50/p95/p99\t%.2fs / %.2fs / %.2fs\n", r.Latency.P50, r.Latency.P95, r.Latency.P99)
+	if r.SLO > 0 {
+		fmt.Fprintf(w, "slo attainment\t%.1f%% within %v\n", 100*r.SLOAttainment, r.SLO)
+	}
+	fmt.Fprintf(w, "imbalance\t%.2f (max/mean routed)\n", r.Imbalance)
+	w.Flush()
+	fmt.Println("per node:")
+	wn := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(wn, "  node\trouted\tadmitted\trejected\tcompleted\tswitches\tp95\tactive")
+	for i, nr := range r.PerNode {
+		fmt.Fprintf(wn, "  node%d\t%d\t%d\t%d\t%d\t%d\t%.2fs\t%dG+%dC\n",
+			i, r.Routed[i], nr.N, nr.Rejected, nr.Completions, nr.Switches,
+			nr.Latency.P95, nr.ActiveGPU, nr.ActiveCPU)
+	}
+	wn.Flush()
 }
 
 func printReport(r *core.Report) {

@@ -40,6 +40,12 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"serve", "-admit", "shed"}, // shed without -slo
 		{"serve", "-admit", "bounded", "-queue-bound", "0"},
 		{"serve", "-admit", "token", "-admit-rate", "0"},
+		{"serve", "-admit", "tenant-quota", "-tenant-rate", "0"},
+		{"serve", "-nodes", "0"},
+		{"serve", "-nodes", "2", "-router", "telepathic"},
+		{"serve", "-nodes", "2", "-placement", "everywhere"},
+		{"serve", "-arrival", "replay"}, // replay without -trace
+		{"serve", "-arrival", "replay", "-trace", "/does/not/exist"},
 	}
 	silence(t)
 	for _, args := range cases {
@@ -104,6 +110,45 @@ func TestServeControlPlaneFlags(t *testing.T) {
 		if err := run(args); err != nil {
 			t.Errorf("args %v: %v", args, err)
 		}
+	}
+}
+
+// TestServeClusterFlags drives the multi-node serving path from the
+// CLI: every router/placement pair on a small stream, plus warm
+// restarts and admission on a fleet.
+func TestServeClusterFlags(t *testing.T) {
+	silence(t)
+	for _, router := range []string{"least-loaded", "affinity", "predict"} {
+		for _, placement := range []string{"mirror", "partition", "usage"} {
+			args := []string{"serve", "-nodes", "2", "-router", router, "-placement", placement,
+				"-rate", "30", "-n", "100", "-slo", "1s"}
+			if err := run(args); err != nil {
+				t.Errorf("args %v: %v", args, err)
+			}
+		}
+	}
+	if err := run([]string{"serve", "-nodes", "3", "-router", "affinity", "-placement", "usage",
+		"-rate", "30", "-n", "100", "-repeat", "2", "-admit", "bounded", "-queue-bound", "64"}); err != nil {
+		t.Errorf("cluster warm restart with admission: %v", err)
+	}
+}
+
+// TestServeRecordReplayFlags captures a trace through -record and
+// serves it back with -arrival replay.
+func TestServeRecordReplayFlags(t *testing.T) {
+	silence(t)
+	trace := t.TempDir() + "/trace.bin"
+	if err := run([]string{"serve", "-record", trace, "-rate", "30", "-n", "100"}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if err := run([]string{"serve", "-arrival", "replay", "-trace", trace}); err != nil {
+		t.Errorf("replay: %v", err)
+	}
+	if err := run([]string{"serve", "-arrival", "replay", "-trace", trace, "-nodes", "2"}); err != nil {
+		t.Errorf("replay onto a cluster: %v", err)
 	}
 }
 

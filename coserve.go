@@ -52,8 +52,10 @@
 package coserve
 
 import (
+	"io"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/coe"
 	"repro/internal/control"
 	"repro/internal/core"
@@ -212,6 +214,22 @@ func NewHysteresisScaler(low, high float64) (Autoscaler, error) {
 	return control.NewHysteresisScaler(low, high)
 }
 
+// NewReachableHysteresisScaler is NewHysteresisScaler with the
+// reachability guard on: scale-down steps that would leave the
+// surviving executors' pools unable to hold the stream's current
+// working set are refused, because shedding capacity below the working
+// set converts the savings into expert-switch thrashing.
+func NewReachableHysteresisScaler(low, high float64) (Autoscaler, error) {
+	return control.NewReachableHysteresisScaler(low, high)
+}
+
+// NewTenantQuota wraps an admission policy (AcceptAll when nil) with
+// independent per-tenant token buckets, so one tenant's overload in a
+// multi-tenant Mix cannot starve the others' admission.
+func NewTenantQuota(inner AdmissionPolicy, rate, burst float64) (AdmissionPolicy, error) {
+	return control.NewTenantQuota(inner, rate, burst)
+}
+
 // Server is an assembled serving system bound to a simulated device. A
 // Server is long-lived: Serve runs one request stream to completion,
 // and consecutive calls warm-restart it on the already-loaded expert
@@ -220,6 +238,55 @@ type Server = core.System
 
 // NewServer builds a serving system for the CoE model.
 func NewServer(cfg Config, m *Model) (*Server, error) { return core.NewSystem(cfg, m) }
+
+// Cluster layer (internal/cluster): one front end serving a stream
+// across N nodes, each node a full single-device data plane, all
+// sharing one deterministic simulation. ClusterConfig carries one
+// node Config per node (heterogeneous fleets are fine) plus the
+// routing and placement policies; ClusterReport aggregates the fleet
+// view over the per-node reports.
+type (
+	Cluster          = cluster.Cluster
+	ClusterConfig    = cluster.Config
+	ClusterReport    = cluster.Report
+	ClusterNode      = cluster.Node
+	ClusterRouter    = cluster.Router
+	ClusterPlacement = cluster.Placement
+	NodeCapacity     = cluster.NodeCapacity
+)
+
+// NewCluster builds a multi-node serving system for the CoE model: the
+// placement plan is computed, then every node joins one shared
+// simulation environment. Like a Server, a Cluster is long-lived —
+// consecutive ServeStream calls warm-restart the fleet.
+func NewCluster(cfg ClusterConfig, m *Model) (*Cluster, error) { return cluster.New(cfg, m) }
+
+// ServeCluster serves one stream across a fresh cluster and returns the
+// fleet report — the one-shot form of NewCluster + Cluster.Serve.
+func ServeCluster(cfg ClusterConfig, m *Model, src Source) (*ClusterReport, error) {
+	cl, err := cluster.New(cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Serve(src)
+}
+
+// UniformNodes returns n copies of the node configuration — the
+// homogeneous fleet constructor for ClusterConfig.Nodes.
+func UniformNodes(n int, node Config) []Config { return cluster.Uniform(n, node) }
+
+// ClusterRouterByName builds a cluster router from its CLI name:
+// "least-loaded" (or ""), "affinity" (prefer nodes whose pools already
+// hold the request's expert), or "predict" (lowest predicted latency
+// under the §4.2 cost model).
+func ClusterRouterByName(name string) (ClusterRouter, error) { return cluster.RouterByName(name) }
+
+// ClusterPlacementByName builds a placement plan from its CLI name:
+// "mirror" (or ""), "partition" (every expert one home), or "usage"
+// (§4.4-style usage-proportional instance counts across the fleet).
+func ClusterPlacementByName(name string) (ClusterPlacement, error) {
+	return cluster.PlacementByName(name)
+}
 
 // CasualAllocation returns the paper's intuitive memory split (§5.2).
 func CasualAllocation(dev *Device, perf PerfMatrix, gpuExecutors, cpuExecutors int) Allocation {
@@ -270,6 +337,24 @@ type (
 // Horizon bounds a source at a virtual-time horizon — required before
 // serving an infinite steady-state source (Steady).
 func Horizon(src Source, d time.Duration) Source { return workload.Horizon(src, d) }
+
+// Trace recording and replay: Record wraps a source so the served
+// stream's arrival log (time, class, tenant, routed chain) is captured;
+// the resulting ArrivalTrace replays bit-for-bit as a Source and
+// persists to a compact binary file via ArrivalTrace.Write /
+// ReadArrivalTrace.
+type (
+	ArrivalTrace    = workload.ArrivalTrace
+	RecordingSource = workload.RecordingSource
+)
+
+// Record wraps a source, transparently copying every arrival it yields
+// into an ArrivalTrace for later replay.
+func Record(src Source) *RecordingSource { return workload.Record(src) }
+
+// ReadArrivalTrace reads a trace previously persisted with
+// ArrivalTrace.Write.
+func ReadArrivalTrace(r io.Reader) (*ArrivalTrace, error) { return workload.ReadTrace(r) }
 
 // IsUnbounded reports whether a source yields an infinite stream and
 // therefore needs a Horizon before serving.

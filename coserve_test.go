@@ -148,7 +148,104 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := coserve.RunExperiment(nil, "fig99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if got := len(coserve.Experiments()); got != 20 {
-		t.Errorf("experiments = %d, want 20 (13 paper artifacts + 3 extensions + 4 serving)", got)
+	if got := len(coserve.Experiments()); got != 21 {
+		t.Errorf("experiments = %d, want 21 (13 paper artifacts + 3 extensions + 5 serving)", got)
 	}
+}
+
+// TestClusterFacade exercises the documented cluster session through
+// the public API: routers and placements by name, a homogeneous fleet
+// via UniformNodes, one-shot ServeCluster, and trace record/replay.
+func TestClusterFacade(t *testing.T) {
+	dev := coserve.NUMADevice()
+	board, err := coserve.BoardA().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, c := coserve.DefaultExecutors(dev)
+	node := coserve.Config{
+		Device: dev, Variant: coserve.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: coserve.CasualAllocation(dev, perf, g, c), Perf: perf,
+	}
+	router, err := coserve.ClusterRouterByName("affinity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement, err := coserve.ClusterPlacementByName("usage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := coserve.ClusterConfig{
+		Nodes: coserve.UniformNodes(3, node), Router: router, Placement: placement,
+		SLO: time.Second,
+	}
+
+	src, err := coserve.Poisson{Name: "fleet", Board: board, Rate: 60, N: 200, Seed: 5}.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := coserve.Record(src)
+	rep, err := coserve.ServeCluster(ccfg, board.Model, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 3 || len(rep.PerNode) != 3 {
+		t.Fatalf("fleet size %d / %d node reports, want 3", rep.Nodes, len(rep.PerNode))
+	}
+	if rep.Completions != 200 {
+		t.Errorf("completions = %d, want 200", rep.Completions)
+	}
+	if rep.Router != "affinity" || rep.Placement != "usage" {
+		t.Errorf("report names %s/%s", rep.Router, rep.Placement)
+	}
+
+	// The recorded trace replays onto a long-lived cluster.
+	replay, err := rec.Trace().Replay(board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := coserve.NewCluster(ccfg2(ccfg), board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := cl.Serve(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Completions != rep.Completions || rep2.N != rep.N {
+		t.Errorf("replayed fleet run differs: %d/%d vs %d/%d", rep2.N, rep2.Completions, rep.N, rep.Completions)
+	}
+	if rep2.Switches != rep.Switches || rep2.Latency != rep.Latency {
+		t.Errorf("replayed fleet run not bit-equivalent: %d switches vs %d", rep2.Switches, rep.Switches)
+	}
+
+	for _, name := range []string{"least-loaded", "affinity", "predict"} {
+		if _, err := coserve.ClusterRouterByName(name); err != nil {
+			t.Errorf("router %q: %v", name, err)
+		}
+	}
+	for _, name := range []string{"mirror", "partition", "usage"} {
+		if _, err := coserve.ClusterPlacementByName(name); err != nil {
+			t.Errorf("placement %q: %v", name, err)
+		}
+	}
+	if _, err := coserve.NewTenantQuota(nil, 5, 2); err != nil {
+		t.Errorf("NewTenantQuota: %v", err)
+	}
+	if _, err := coserve.NewReachableHysteresisScaler(0.3, 0.85); err != nil {
+		t.Errorf("NewReachableHysteresisScaler: %v", err)
+	}
+}
+
+// ccfg2 deep-copies a cluster config's node slice so a second cluster
+// does not share the first one's (stateless here, but by contract
+// per-cluster) control-plane instances.
+func ccfg2(c coserve.ClusterConfig) coserve.ClusterConfig {
+	c.Nodes = append([]coserve.Config(nil), c.Nodes...)
+	return c
 }

@@ -1,0 +1,266 @@
+// Package cluster is the multi-node serving layer: one front end
+// serving a single request stream across N nodes, where each node is a
+// full single-device data plane (core.System — executors, pools,
+// queues, admission, autoscaling) and all nodes share one simulation
+// environment so the whole fleet stays deterministic.
+//
+// The front end owns three decisions the single-node system never had
+// to make: where each expert's instances live (Placement — a
+// generalization of the paper's §4.4 capacity planning across
+// heterogeneous devices), which node an arriving request runs on
+// (Router — least-loaded, expert-affinity over pool residency, or
+// predicted-latency via the §4.2 cost model), and how the per-node
+// reports aggregate into a fleet view (Report — fleet percentiles,
+// attainment, and cross-node imbalance).
+//
+// A request is routed once, at admission: its whole expert chain runs
+// on the chosen node, exactly as it would on a single-node system, so a
+// node's slice of a cluster run is the same data plane the paper
+// evaluates. Routing per stage (migrating a request between nodes
+// mid-chain) would ship activations across nodes; with the paper's
+// short chains the residency-aware first-stage decision captures
+// nearly all of the benefit without modeling an interconnect.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config describes a cluster: one core.Config per node (heterogeneous
+// fleets — different devices, topologies, admission policies per node —
+// are explicitly supported), the routing and placement policies, and
+// the fleet-level reporting knobs.
+type Config struct {
+	// Nodes holds one data-plane configuration per node. Node IDs
+	// default to "node0", "node1", … when empty. Per-node stateful
+	// control-plane components (Admission, Autoscaler) must not be
+	// shared between node configs.
+	Nodes []core.Config
+	// Router picks the node an admitted request runs on; nil defaults
+	// to LeastLoaded.
+	Router Router
+	// Placement plans expert preloading across the fleet; nil defaults
+	// to Mirror (every node preloads its own §4.1 usage order).
+	Placement Placement
+	// SLO is the fleet-level latency objective the cluster report
+	// scores attainment against (0 disables, like core.Config.SLO).
+	SLO time.Duration
+	// Window enables the fleet-level windowed series with the given
+	// interval (0 disables).
+	Window time.Duration
+}
+
+// Uniform returns n copies of the node configuration — the homogeneous
+// fleet constructor. IDs are left empty for New to assign.
+func Uniform(n int, node core.Config) []core.Config {
+	nodes := make([]core.Config, n)
+	for i := range nodes {
+		nodes[i] = node
+	}
+	return nodes
+}
+
+// Node is one member of the cluster: a single-device data plane plus
+// the read-only view routers consult.
+type Node struct {
+	id  string
+	sys *core.System
+}
+
+// ID reports the node's identifier.
+func (n *Node) ID() string { return n.id }
+
+// System exposes the node's data plane (read-only use).
+func (n *Node) System() *core.System { return n.sys }
+
+// Queued reports the node's backlog across active queues.
+func (n *Node) Queued() int { return n.sys.Queued() }
+
+// Resident reports whether the expert is Loaded or Loading in any of
+// the node's pools — the router's affinity signal.
+func (n *Node) Resident(id coe.ExpertID) bool { return n.sys.ExpertResident(id) }
+
+// PredictLatency predicts the end-to-end latency the request would
+// observe if admitted to this node now (sched.Queue.Predict under the
+// node's §4.2 cost model).
+func (n *Node) PredictLatency(r *coe.Request) time.Duration { return n.sys.PredictLatency(r) }
+
+// Cluster is a multi-node serving system. Like core.System it is
+// long-lived: Serve runs one stream across the fleet, and consecutive
+// calls warm-restart every node on its already-loaded pools.
+type Cluster struct {
+	cfg       Config
+	m         *coe.Model
+	env       *sim.Env
+	router    Router
+	placement Placement
+	nodes     []*Node
+	recorder  *metrics.Recorder
+
+	runs    int
+	serving bool
+	broken  error
+
+	// routed counts arrivals handed to each node (admitted or not) this
+	// stream — the imbalance numerator.
+	routed []int64
+}
+
+// New builds a cluster for the CoE model: the placement plan is
+// computed first, then each node's data plane is constructed in the
+// shared environment with its slice of the plan preloaded.
+func New(cfg Config, m *coe.Model) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: config needs at least one node")
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		m:         m,
+		env:       sim.NewEnv(),
+		router:    cfg.Router,
+		placement: cfg.Placement,
+		recorder:  metrics.NewRecorder(),
+		routed:    make([]int64, len(cfg.Nodes)),
+	}
+	if c.router == nil {
+		c.router = LeastLoaded{}
+	}
+	if c.placement == nil {
+		c.placement = Mirror{}
+	}
+	c.recorder.SetWindow(cfg.Window)
+
+	caps := make([]NodeCapacity, len(cfg.Nodes))
+	for i, nc := range cfg.Nodes {
+		id := nc.ID
+		if id == "" {
+			id = fmt.Sprintf("node%d", i)
+		}
+		caps[i] = NodeCapacity{ID: id, ExpertBytes: nc.Alloc.GPUExpertBytes + nc.Alloc.CPUExpertBytes}
+	}
+	plan, err := c.placement.Plan(m, caps)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil && len(plan) != len(cfg.Nodes) {
+		return nil, fmt.Errorf("cluster: placement %q planned %d nodes for a %d-node fleet",
+			c.placement.Name(), len(plan), len(cfg.Nodes))
+	}
+
+	for i, nc := range cfg.Nodes {
+		nc.ID = caps[i].ID
+		if plan != nil {
+			nc.Preload = plan[i]
+		}
+		sys, err := core.NewSystemInEnv(nc, m, c.env)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: %w", nc.ID, err)
+		}
+		c.nodes = append(c.nodes, &Node{id: nc.ID, sys: sys})
+	}
+	return c, nil
+}
+
+// Nodes exposes the fleet (read-only use).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Runs reports how many streams the cluster has served.
+func (c *Cluster) Runs() int { return c.runs }
+
+// Serve runs one request stream across the fleet to completion and
+// returns the aggregated report. The first Serve runs against the
+// placement plan's freshly preloaded pools; consecutive calls
+// warm-restart every node — the shared virtual clock continues and each
+// node's pools keep whatever the previous stream left resident. A
+// stream that ends with requests in flight poisons the cluster.
+func (c *Cluster) Serve(src workload.Source) (*Report, error) {
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	if c.serving {
+		return nil, fmt.Errorf("cluster: Serve called re-entrantly")
+	}
+	if workload.IsUnbounded(src) {
+		return nil, fmt.Errorf("cluster: stream %q is unbounded; wrap it in workload.Horizon to give it a terminating horizon",
+			src.Name())
+	}
+	if sm, ok := src.(interface{ Model() *coe.Model }); ok && sm.Model() != nil && sm.Model() != c.m {
+		return nil, fmt.Errorf("cluster: stream %q draws from model %q, cluster serves %q",
+			src.Name(), sm.Model().Name(), c.m.Name())
+	}
+	c.serving = true
+	defer func() { c.serving = false }()
+
+	if c.runs > 0 {
+		c.env.Reopen()
+		c.recorder.Reset()
+		clear(c.routed)
+	}
+	c.runs++
+	for _, n := range c.nodes {
+		if err := n.sys.JoinStream(src.Name(), c); err != nil {
+			c.broken = fmt.Errorf("cluster: node %s: %w", n.id, err)
+			return nil, c.broken
+		}
+	}
+	c.env.Go("cluster/arrivals", func(p *sim.Proc) { c.admit(p, src) })
+	c.env.Run()
+
+	reports := make([]*core.Report, len(c.nodes))
+	for i, n := range c.nodes {
+		rep, err := n.sys.StreamReport()
+		if err != nil {
+			c.broken = err
+			return nil, err
+		}
+		reports[i] = rep
+	}
+	return c.report(src.Name(), reports), nil
+}
+
+// admit is the cluster's arrival process: it walks the source, sleeps
+// until each request's due time, asks the router for a node, and offers
+// the request to that node's admission and dispatch path. When the
+// source closes it closes every node's stream so the fleet drains and
+// shuts down.
+func (c *Cluster) admit(p *sim.Proc, src workload.Source) {
+	start := p.Now()
+	for {
+		tr, ok := src.Next()
+		if !ok {
+			break
+		}
+		due := start.Add(tr.At)
+		if wait := due.Sub(p.Now()); wait > 0 {
+			p.Sleep(wait)
+		}
+		idx := c.router.Pick(p.Now(), c.nodes, tr.Req)
+		if idx < 0 || idx >= len(c.nodes) {
+			panic(fmt.Sprintf("cluster: router %s picked node %d of %d", c.router.Name(), idx, len(c.nodes)))
+		}
+		c.routed[idx]++
+		if c.nodes[idx].sys.Offer(p, tr) {
+			c.recorder.Arrival(p.Now())
+		} else {
+			c.recorder.Rejection(p.Now())
+		}
+	}
+	for _, n := range c.nodes {
+		n.sys.CloseStream()
+	}
+}
+
+// RequestDone implements core.StreamDelegate: every node reports its
+// completions into the fleet recorder, which therefore holds the exact
+// per-request latency population — fleet percentiles are computed over
+// it, not approximated from per-node summaries.
+func (c *Cluster) RequestDone(p *sim.Proc, r *coe.Request) {
+	c.recorder.Completion(r.Arrival, p.Now())
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/coe"
+)
+
+// NodeCapacity is the slice of a node's configuration placement plans
+// consume: its identity and total expert-storage budget (GPU plus CPU
+// pool bytes). Heterogeneous fleets present heterogeneous capacities
+// here, and the plans weight instance placement by them.
+type NodeCapacity struct {
+	ID string
+	// ExpertBytes is the node's total expert-pool budget.
+	ExpertBytes int64
+}
+
+// Placement plans expert preloading across the fleet before the first
+// stream: Plan returns one ordered expert list per node, preloaded
+// round-robin into that node's pools until they fill
+// (core.Config.Preload), or a nil plan to leave every node on its own
+// §4.1 descending-usage default. Plans must be deterministic.
+type Placement interface {
+	// Name identifies the placement in reports and tables.
+	Name() string
+	// Plan returns one preload list per node, or nil for the default.
+	Plan(m *coe.Model, nodes []NodeCapacity) ([][]coe.ExpertID, error)
+}
+
+// Mirror is the identity placement: every node independently preloads
+// the §4.1 descending-usage order, so the fleet holds N copies of the
+// hottest experts. It maximizes hot-expert service capacity and
+// warm-restart locality at the cost of total coverage — the fleet's
+// effective pool is no larger than one node's.
+type Mirror struct{}
+
+// Name implements Placement.
+func (Mirror) Name() string { return "mirror" }
+
+// Plan implements Placement: nil means "every node defaults".
+func (Mirror) Plan(*coe.Model, []NodeCapacity) ([][]coe.ExpertID, error) { return nil, nil }
+
+// Partition gives every expert exactly one home: walking experts in
+// descending usage probability, each is placed on the node with the
+// most remaining capacity that fits it (ties to the lowest index). The
+// fleet's effective pool is the sum of the nodes' pools — maximal
+// coverage, no replication — so a partitioned fleet wants an
+// affinity-style router to send requests where their expert lives.
+type Partition struct{}
+
+// Name implements Placement.
+func (Partition) Name() string { return "partition" }
+
+// Plan implements Placement.
+func (Partition) Plan(m *coe.Model, nodes []NodeCapacity) ([][]coe.ExpertID, error) {
+	plan := make([][]coe.ExpertID, len(nodes))
+	for i := range plan {
+		plan[i] = []coe.ExpertID{}
+	}
+	remaining := capacities(nodes)
+	for _, e := range m.ExpertsByUsage() {
+		if i := widestNode(remaining, e.WeightBytes(), nil); i >= 0 {
+			plan[i] = append(plan[i], e.ID)
+			remaining[i] -= e.WeightBytes()
+		}
+	}
+	return plan, nil
+}
+
+// UsageProportional generalizes the paper's §4.4 capacity planning to a
+// fleet: instead of asking "how many experts should one device hold",
+// it asks "how many instances of each expert should the fleet hold, and
+// where". Instances are dealt by marginal gain — the next copy goes to
+// the expert maximizing UsageProb/(instances+1), the water-filling rule
+// that equalizes expected load per instance — until every node's
+// capacity is spent, with each instance placed on the
+// largest-remaining-capacity node not yet holding the expert. Hot
+// experts end up replicated on several (heterogeneously sized) nodes,
+// cold experts keep at most one home, and the split between replication
+// and coverage follows the usage distribution instead of a fixed rule.
+type UsageProportional struct{}
+
+// Name implements Placement.
+func (UsageProportional) Name() string { return "usage" }
+
+// Plan implements Placement.
+func (UsageProportional) Plan(m *coe.Model, nodes []NodeCapacity) ([][]coe.ExpertID, error) {
+	plan := make([][]coe.ExpertID, len(nodes))
+	for i := range plan {
+		plan[i] = []coe.ExpertID{}
+	}
+	remaining := capacities(nodes)
+	experts := m.ExpertsByUsage()
+	instances := make([]int, len(experts))
+	// homes[e] marks the nodes already holding expert rank e.
+	homes := make([][]bool, len(experts))
+	for i := range homes {
+		homes[i] = make([]bool, len(nodes))
+	}
+	for {
+		// The candidate with the highest marginal gain that still has a
+		// node to land on. Ties break to the higher usage rank (lower
+		// index in the descending-usage order), so the outcome is
+		// deterministic.
+		best, bestNode := -1, -1
+		var bestGain float64
+		for rank, e := range experts {
+			if instances[rank] >= len(nodes) {
+				continue
+			}
+			gain := e.UsageProb / float64(instances[rank]+1)
+			if best >= 0 && gain <= bestGain {
+				continue
+			}
+			if node := widestNode(remaining, e.WeightBytes(), homes[rank]); node >= 0 {
+				best, bestNode, bestGain = rank, node, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := experts[best]
+		plan[bestNode] = append(plan[bestNode], e.ID)
+		remaining[bestNode] -= e.WeightBytes()
+		instances[best]++
+		homes[best][bestNode] = true
+	}
+	return plan, nil
+}
+
+// capacities copies the nodes' expert budgets into a working slice.
+func capacities(nodes []NodeCapacity) []int64 {
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.ExpertBytes
+	}
+	return out
+}
+
+// widestNode returns the index of the node with the most remaining
+// capacity that fits need and is not excluded, ties to the lowest
+// index; -1 when none fits.
+func widestNode(remaining []int64, need int64, excluded []bool) int {
+	best := -1
+	for i, rem := range remaining {
+		if rem < need || (excluded != nil && excluded[i]) {
+			continue
+		}
+		if best < 0 || rem > remaining[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PlacementNames lists the built-in placement names in presentation
+// order.
+func PlacementNames() []string { return []string{"mirror", "partition", "usage"} }
+
+// PlacementByName builds a placement from its CLI name: "mirror" (or
+// ""), "partition", or "usage".
+func PlacementByName(name string) (Placement, error) {
+	switch name {
+	case "", "mirror":
+		return Mirror{}, nil
+	case "partition":
+		return Partition{}, nil
+	case "usage":
+		return UsageProportional{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement %q (want mirror, partition, usage)", name)
+	}
+}

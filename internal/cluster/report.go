@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Report aggregates one cluster-served stream: the fleet view plus each
+// node's full single-system report.
+type Report struct {
+	// Stream names the served source; Nodes is the fleet size.
+	Stream string
+	Nodes  int
+	// Router and Placement name the policies the stream ran under.
+	Router    string
+	Placement string
+
+	// N counts admitted requests fleet-wide; Offered additionally
+	// counts requests rejected by the nodes' admission policies.
+	N             int64
+	Offered       int64
+	Rejected      int64
+	RejectionRate float64
+	Completions   int64
+	// Makespan spans first fleet arrival to last fleet completion;
+	// Throughput is fleet completions per second of it.
+	Makespan   time.Duration
+	Throughput float64
+
+	// Latency summarizes the exact fleet-wide per-request latency
+	// population (seconds) — not an approximation over node summaries.
+	Latency stats.Summary
+	// SLO echoes the fleet objective; SLOAttainment is the fraction of
+	// fleet completions meeting it (1 when no SLO is configured).
+	SLO           time.Duration
+	SLOAttainment float64
+
+	// Switches, SSDLoads, HostHits, and Evictions sum the nodes' expert
+	// movement — the fleet's total switching bill.
+	Switches  int64
+	SSDLoads  int64
+	HostHits  int64
+	Evictions int64
+
+	// Imbalance is the max-over-mean ratio of per-node routed arrivals:
+	// 1.0 is a perfectly balanced fleet, N is everything on one node of
+	// N. Routed counts include rejected requests — it measures the
+	// router, not the admission policies.
+	Imbalance float64
+	// Routed counts arrivals handed to each node, in node order.
+	Routed []int64
+
+	// Windows is the fleet-level sliding-interval series (nil unless
+	// Config.Window enabled it).
+	Windows []metrics.Window
+
+	// PerNode holds each node's full report, in node order. Node-local
+	// slices (per-tenant stats, per-executor rows, windows) live here.
+	PerNode []*core.Report
+}
+
+// report assembles the fleet aggregate after a completed stream.
+func (c *Cluster) report(stream string, perNode []*core.Report) *Report {
+	r := &Report{
+		Stream:        stream,
+		Nodes:         len(c.nodes),
+		Router:        c.router.Name(),
+		Placement:     c.placement.Name(),
+		N:             c.recorder.Arrivals(),
+		Offered:       c.recorder.Arrivals() + c.recorder.Rejections(),
+		Rejected:      c.recorder.Rejections(),
+		Completions:   c.recorder.Completions(),
+		Makespan:      c.recorder.Makespan(),
+		Throughput:    c.recorder.Throughput(),
+		Latency:       c.recorder.LatencySummary(),
+		SLO:           c.cfg.SLO,
+		SLOAttainment: c.recorder.SLOAttainment(c.cfg.SLO),
+		Routed:        append([]int64(nil), c.routed...),
+		PerNode:       perNode,
+	}
+	if r.Offered > 0 {
+		r.RejectionRate = float64(r.Rejected) / float64(r.Offered)
+	}
+	if ws := c.recorder.Windows(); len(ws) > 0 {
+		r.Windows = append([]metrics.Window(nil), ws...)
+	}
+	for _, rep := range perNode {
+		r.Switches += rep.Switches
+		r.SSDLoads += rep.SSDLoads
+		r.HostHits += rep.HostHits
+		r.Evictions += rep.Evictions
+	}
+	var total, max int64
+	for _, n := range r.Routed {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total > 0 {
+		r.Imbalance = float64(max) * float64(len(c.nodes)) / float64(total)
+	}
+	return r
+}

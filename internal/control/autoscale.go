@@ -21,6 +21,20 @@ type Utilization struct {
 	// Queued is the backlog (queued requests across active executors) at
 	// the window boundary.
 	Queued int
+	// WorkingSet is the number of distinct experts dispatched during the
+	// window — the width of the stream's current working set. Zero when
+	// the serving layer does not track it.
+	WorkingSet int
+	// GPUPoolSlots and CPUPoolSlots estimate how many model-average
+	// experts one executor's pool of each kind holds: the unit a
+	// reachability-aware scaler prices surviving capacity in.
+	GPUPoolSlots, CPUPoolSlots int
+}
+
+// HoldableExperts reports how many model-average experts the pools of
+// gpu active GPU and cpu active CPU executors hold.
+func (u Utilization) HoldableExperts(gpu, cpu int) int {
+	return gpu*u.GPUPoolSlots + cpu*u.CPUPoolSlots
 }
 
 // Autoscaler decides, per utilization window, how many executors of each
@@ -47,6 +61,13 @@ type Autoscaler interface {
 type HysteresisScaler struct {
 	// Low and High are the busy-fraction thresholds (0 < Low < High <= 1).
 	Low, High float64
+	// GuardReachability, when set, refuses a scale-down step whose
+	// surviving pools could not hold the window's working set
+	// (Utilization.WorkingSet vs HoldableExperts): shrinking below the
+	// working set does not save capacity, it converts every saved
+	// executor into a stream of expert switches on the survivors
+	// (thrashing). No-op when the serving layer reports no working set.
+	GuardReachability bool
 }
 
 // NewHysteresisScaler returns a hysteresis autoscaler with the given
@@ -58,14 +79,34 @@ func NewHysteresisScaler(low, high float64) (*HysteresisScaler, error) {
 	return &HysteresisScaler{Low: low, High: high}, nil
 }
 
+// NewReachableHysteresisScaler returns a hysteresis autoscaler with the
+// reachability guard on: scale-down steps that would leave the
+// surviving pools unable to hold the current working set are refused.
+func NewReachableHysteresisScaler(low, high float64) (*HysteresisScaler, error) {
+	h, err := NewHysteresisScaler(low, high)
+	if err != nil {
+		return nil, err
+	}
+	h.GuardReachability = true
+	return h, nil
+}
+
 // Name implements Autoscaler.
-func (h *HysteresisScaler) Name() string { return fmt.Sprintf("hysteresis-%g-%g", h.Low, h.High) }
+func (h *HysteresisScaler) Name() string {
+	name := fmt.Sprintf("hysteresis-%g-%g", h.Low, h.High)
+	if h.GuardReachability {
+		name += "+reach"
+	}
+	return name
+}
 
 // Scale implements Autoscaler: each kind steps independently on its own
 // busy fraction; a standing backlog forces growth even when the busy
 // sample straddles the dead band. A kind scaled to zero reads a busy
 // fraction of zero forever, so a backlog alone revives it — otherwise
 // capacity shed on a trickle would be lost for the System's lifetime.
+// With GuardReachability set, a downward step is then vetoed if the
+// surviving pools cannot hold the window's working set.
 func (h *HysteresisScaler) Scale(_ sim.Time, u Utilization, activeGPU, activeCPU int) (int, int) {
 	step := func(active int, busy float64) int {
 		switch {
@@ -77,5 +118,17 @@ func (h *HysteresisScaler) Scale(_ sim.Time, u Utilization, activeGPU, activeCPU
 			return active
 		}
 	}
-	return step(activeGPU, u.GPUBusy), step(activeCPU, u.CPUBusy)
+	g, c := step(activeGPU, u.GPUBusy), step(activeCPU, u.CPUBusy)
+	if h.GuardReachability && u.WorkingSet > 0 {
+		// Veto the GPU step against the tentative CPU count, then the CPU
+		// step against the settled GPU count, so the pair that survives is
+		// jointly reachable.
+		if g < activeGPU && u.HoldableExperts(g, c) < u.WorkingSet {
+			g = activeGPU
+		}
+		if c < activeCPU && u.HoldableExperts(g, c) < u.WorkingSet {
+			c = activeCPU
+		}
+	}
+	return g, c
 }

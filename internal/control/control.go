@@ -189,10 +189,15 @@ type PolicyOptions struct {
 	Rate, Burst float64
 	// Objective is the DeadlineShed latency deadline ("shed").
 	Objective time.Duration
+	// TenantRate and TenantBurst parameterize the per-tenant token
+	// buckets of TenantQuota ("tenant-quota").
+	TenantRate, TenantBurst float64
 }
 
 // PolicyByName builds an admission policy from its CLI name: "accept"
-// (or ""), "bounded", "token", or "shed".
+// (or ""), "bounded", "token", "shed", or "tenant-quota" (per-tenant
+// token buckets over accept-all; wrap other inner policies with
+// NewTenantQuota directly).
 func PolicyByName(name string, opts PolicyOptions) (AdmissionPolicy, error) {
 	switch name {
 	case "", "accept", "accept-all":
@@ -203,7 +208,9 @@ func PolicyByName(name string, opts PolicyOptions) (AdmissionPolicy, error) {
 		return NewTokenBucket(opts.Rate, opts.Burst)
 	case "shed":
 		return NewDeadlineShed(opts.Objective)
+	case "tenant-quota":
+		return NewTenantQuota(AcceptAll{}, opts.TenantRate, opts.TenantBurst)
 	default:
-		return nil, fmt.Errorf("control: unknown admission policy %q (want accept, bounded, token, shed)", name)
+		return nil, fmt.Errorf("control: unknown admission policy %q (want accept, bounded, token, shed, tenant-quota)", name)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/coe"
 	"repro/internal/control"
 	"repro/internal/hw"
 	"repro/internal/model"
@@ -144,6 +145,18 @@ type Allocation struct {
 type Config struct {
 	Device  *hw.Device
 	Variant Variant
+	// ID, when non-empty, namespaces the system's executor, queue, and
+	// pool names ("node0/gpu1") — set by the cluster layer so per-node
+	// report rows stay distinguishable. Empty for single systems: names
+	// stay exactly "gpu0", "cpu0", ….
+	ID string
+	// Preload, when non-nil, replaces the §4.1 descending-usage preload
+	// order with an explicit expert list — the cluster placement hook.
+	// Experts are preloaded round-robin across the system's pools in
+	// list order until the pools fill; an empty non-nil slice preloads
+	// nothing. Ignored by the cold-start (Samba) variants, which never
+	// preload.
+	Preload []coe.ExpertID
 	// GPUExecutors and CPUExecutors set the topology. Samba and
 	// SambaFIFO override to 1 GPU / 0 CPU.
 	GPUExecutors int

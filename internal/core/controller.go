@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/coe"
+	"repro/internal/control"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -12,11 +13,22 @@ import (
 // System: it feeds timed requests from the arrival process through the
 // admission policy into the dispatch path, tracks outstanding work, and
 // shuts the executors down once the stream has fully drained — the
-// lifecycle logic that used to live inline in RunTask.
+// lifecycle logic that used to live inline in RunTask. In cluster mode
+// the same controller runs without an arrival loop: the cluster routes
+// requests in through offer and closes the stream itself.
 type controller struct {
-	sys   *System
-	src   workload.Source
-	start sim.Time // virtual instant the stream began
+	sys    *System
+	src    workload.Source
+	stream string   // the stream name reports and traces carry
+	start  sim.Time // virtual instant the stream began
+
+	// delegate, when set, observes request completions from outside the
+	// node — the cluster layer's fleet accounting hook.
+	delegate StreamDelegate
+	// tenantAdmit is the admission policy's tenant-aware interface when
+	// it implements one (control.TenantQuota); resolved once so the
+	// per-arrival path pays no type assertion.
+	tenantAdmit control.TenantAdmitter
 
 	admitted   int64
 	rejected   int64
@@ -43,18 +55,21 @@ type tenantAgg struct {
 }
 
 func newController(s *System, src workload.Source) *controller {
-	return &controller{sys: s, src: src, start: s.env.Now()}
+	c := &controller{sys: s, src: src, start: s.env.Now()}
+	if src != nil {
+		c.stream = src.Name()
+	}
+	if ta, ok := s.cfg.Admission.(control.TenantAdmitter); ok {
+		c.tenantAdmit = ta
+	}
+	return c
 }
 
 // admit is the arrival process body: it walks the source, sleeps until
-// each request's due time, consults the admission policy, and
-// dispatches what it accepts. Rejected requests leave exactly one mark
-// — a rejection count (and a KindRejected trace event) — and never
-// touch a queue, the recorder's completion path, or the per-tenant
-// latency aggregates. When the source closes it arms completion-driven
-// shutdown (and shuts down immediately if the stream already drained).
+// each request's due time, and offers it to admission and dispatch.
+// When the source closes it arms completion-driven shutdown (and shuts
+// down immediately if the stream already drained).
 func (c *controller) admit(p *sim.Proc) {
-	s := c.sys
 	for {
 		tr, ok := c.src.Next()
 		if !ok {
@@ -64,38 +79,59 @@ func (c *controller) admit(p *sim.Proc) {
 		if wait := due.Sub(p.Now()); wait > 0 {
 			p.Sleep(wait)
 		}
-		r := tr.Req
-		now := p.Now()
-		if s.cfg.Admission != nil && !s.cfg.Admission.Admit(now, s, r) {
-			c.rejected++
-			s.recorder.Rejection(now)
-			if tr.Tenant != "" {
-				c.tenantFor(tr.Tenant).rejected++
-			}
-			if s.cfg.Trace != nil {
-				s.cfg.Trace.Add(trace.Event{
-					At: now.Duration(), Kind: trace.KindRejected, Request: r.ID,
-				})
-			}
-			continue
-		}
-		r.Arrival = now
-		s.recorder.Arrival(r.Arrival)
-		c.admitted++
-		if tr.Tenant != "" {
-			c.tag(r.ID, tr.Tenant)
-		}
-		if s.cfg.Trace != nil {
-			s.cfg.Trace.Add(trace.Event{
-				At: r.Arrival.Duration(), Kind: trace.KindArrival, Request: r.ID,
-			})
-		}
-		s.dispatch(r)
+		c.offer(p, tr)
 	}
 	c.closed = true
 	if c.completed == c.admitted {
 		c.finish()
 	}
+}
+
+// offer runs one arrival through the admission policy and, if accepted,
+// the dispatch path, at the current virtual time. Rejected requests
+// leave exactly one mark — a rejection count (and a KindRejected trace
+// event) — and never touch a queue, the recorder's completion path, or
+// the per-tenant latency aggregates. It is the shared arrival body of
+// the node's own admit loop and the cluster's router loop (Offer).
+func (c *controller) offer(p *sim.Proc, tr workload.TimedRequest) bool {
+	s := c.sys
+	r := tr.Req
+	now := p.Now()
+	if s.cfg.Admission != nil && !c.admitOne(now, r, tr.Tenant) {
+		c.rejected++
+		s.recorder.Rejection(now)
+		if tr.Tenant != "" {
+			c.tenantFor(tr.Tenant).rejected++
+		}
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.Add(trace.Event{
+				At: now.Duration(), Kind: trace.KindRejected, Request: r.ID,
+			})
+		}
+		return false
+	}
+	r.Arrival = now
+	s.recorder.Arrival(r.Arrival)
+	c.admitted++
+	if tr.Tenant != "" {
+		c.tag(r.ID, tr.Tenant)
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Add(trace.Event{
+			At: r.Arrival.Duration(), Kind: trace.KindArrival, Request: r.ID,
+		})
+	}
+	s.dispatch(r)
+	return true
+}
+
+// admitOne consults the admission policy, through its tenant-aware
+// interface when it has one.
+func (c *controller) admitOne(now sim.Time, r *coe.Request, tenant string) bool {
+	if c.tenantAdmit != nil {
+		return c.tenantAdmit.AdmitTenant(now, c.sys, r, tenant)
+	}
+	return c.sys.cfg.Admission.Admit(now, c.sys, r)
 }
 
 // onBatch advances a completed stage: multi-stage requests are
@@ -125,6 +161,9 @@ func (c *controller) onBatch(p *sim.Proc, r *coe.Request) {
 		})
 	}
 	c.completed++
+	if c.delegate != nil {
+		c.delegate.RequestDone(p, r)
+	}
 	if c.closed && c.completed == c.admitted {
 		c.finish()
 	}

@@ -63,10 +63,45 @@ type System struct {
 	runs    int
 	serving bool
 	broken  error
+
+	// ownsEnv records whether this System created (and therefore drives)
+	// its simulation environment. A joined system (NewSystemInEnv) shares
+	// an external env — the cluster layer's arrangement — and is served
+	// through JoinStream/Offer/CloseStream instead of Serve.
+	ownsEnv bool
+
+	// windowExperts collects the distinct experts dispatched since the
+	// last autoscaler window boundary — the working-set width a
+	// reachability-aware autoscaler compares against surviving pool
+	// capacity. Nil (and unmaintained) unless an autoscaler is configured.
+	windowExperts map[coe.ExpertID]struct{}
+	// gpuPoolSlots/cpuPoolSlots estimate how many model-average experts
+	// one executor's pool holds — the autoscaler's reachability unit.
+	gpuPoolSlots, cpuPoolSlots int
 }
 
 // NewSystem builds a system for the CoE model under the configuration.
+// The system creates and owns its simulation environment; use
+// NewSystemInEnv to build a node that joins a shared environment.
 func NewSystem(cfg Config, m *coe.Model) (*System, error) {
+	return newSystem(cfg, m, sim.NewEnv(), true)
+}
+
+// NewSystemInEnv builds a system bound to an externally owned simulation
+// environment: the cluster layer's node constructor. The caller owns the
+// env lifecycle — it runs the event loop and re-arms it between streams
+// — so a joined system refuses Serve/RunTask and is driven through
+// JoinStream, Offer, CloseStream, and StreamReport instead. A system
+// built by NewSystem is byte-identical to one built here on a fresh env
+// and driven through the same stream.
+func NewSystemInEnv(cfg Config, m *coe.Model, env *sim.Env) (*System, error) {
+	if env == nil {
+		return nil, fmt.Errorf("core: NewSystemInEnv needs an environment")
+	}
+	return newSystem(cfg, m, env, false)
+}
+
+func newSystem(cfg Config, m *coe.Model, env *sim.Env, ownsEnv bool) (*System, error) {
 	cfg = cfg.normalized()
 
 	var largestWeight, largestGPUAct, largestCPUAct int64
@@ -103,13 +138,20 @@ func NewSystem(cfg Config, m *coe.Model) (*System, error) {
 	if err := cfg.validate(largestWeight, largestGPUAct, largestCPUAct); err != nil {
 		return nil, err
 	}
+	for _, id := range cfg.Preload {
+		if id < 0 || int(id) >= m.NumExperts() {
+			return nil, fmt.Errorf("core: preload plan names expert %d outside model %q (%d experts)",
+				id, m.Name(), m.NumExperts())
+		}
+	}
 
 	s := &System{
 		cfg:      cfg,
 		m:        m,
-		env:      sim.NewEnv(),
+		env:      env,
 		recorder: metrics.NewRecorder(),
 		measure:  cfg.PreschedPicks == nil,
+		ownsEnv:  ownsEnv,
 	}
 	s.store = pool.NewStore(s.env, cfg.Device, cfg.Alloc.HostCacheBytes)
 	if cfg.PreschedPicks != nil {
@@ -123,14 +165,22 @@ func NewSystem(cfg Config, m *coe.Model) (*System, error) {
 	gpuCompute := sim.NewResource(s.env, "gpu/compute", 1)
 	cpuCompute := sim.NewResource(s.env, "cpu/compute", 1)
 
+	// prefix namespaces executor, queue, and pool names per node when the
+	// system is one of several sharing an env ("node0/gpu1"); empty — and
+	// absent from every name — in the single-node arrangement.
+	prefix := ""
+	if cfg.ID != "" {
+		prefix = cfg.ID + "/"
+	}
+
 	// Shared-pool variants use one pool per processor; otherwise each
 	// executor owns a pool.
 	var sharedGPU, sharedCPU *pool.Pool
 	if cfg.Variant.sharedPools() {
-		sharedGPU = pool.New("gpu-shared", cfg.Alloc.GPUExpertBytes, s.store, memory.TierGPU, cfg.evictPolicy(), s.env.Now)
+		sharedGPU = pool.New(prefix+"gpu-shared", cfg.Alloc.GPUExpertBytes, s.store, memory.TierGPU, cfg.evictPolicy(), s.env.Now)
 		s.pools = append(s.pools, sharedGPU)
 		if cfg.CPUExecutors > 0 {
-			sharedCPU = pool.New("cpu-shared", cfg.Alloc.CPUExpertBytes, s.store, memory.TierCPU, cfg.evictPolicy(), s.env.Now)
+			sharedCPU = pool.New(prefix+"cpu-shared", cfg.Alloc.CPUExpertBytes, s.store, memory.TierCPU, cfg.evictPolicy(), s.env.Now)
 			s.pools = append(s.pools, sharedCPU)
 		}
 	}
@@ -146,14 +196,14 @@ func NewSystem(cfg Config, m *coe.Model) (*System, error) {
 		)
 		proc := cfg.Device.Proc(kind)
 		if kind == hw.GPU {
-			name = fmt.Sprintf("gpu%d", i)
+			name = fmt.Sprintf("%sgpu%d", prefix, i)
 			tier = memory.TierGPU
 			poolCap = cfg.Alloc.GPUExpertBytes / int64(cfg.GPUExecutors)
 			acts = s.gpuActs
 			compute = gpuCompute
 			pl = sharedGPU
 		} else {
-			name = fmt.Sprintf("cpu%d", i)
+			name = fmt.Sprintf("%scpu%d", prefix, i)
 			tier = memory.TierCPU
 			poolCap = cfg.Alloc.CPUExpertBytes / int64(cfg.CPUExecutors)
 			acts = s.cpuActs
@@ -217,11 +267,37 @@ func NewSystem(cfg Config, m *coe.Model) (*System, error) {
 		}
 	}
 
+	if cfg.Autoscaler != nil && !cfg.Variant.sharedPools() {
+		// Reachability inputs for the autoscaler: the working-set tracker
+		// and the per-executor expert-slot estimate (pool capacity over
+		// the model's mean expert size). Only maintained when a control
+		// plane is on — the bare data path stays untouched. Shared-pool
+		// variants are excluded: their one pool keeps its full capacity
+		// at any active count, so scale-down never loses reachability and
+		// the guard correctly stands down on a zero working set.
+		s.windowExperts = make(map[coe.ExpertID]struct{})
+		if n := m.NumExperts(); n > 0 {
+			if mean := m.TotalWeightBytes() / int64(n); mean > 0 {
+				s.gpuPoolSlots = int(cfg.Alloc.GPUExpertBytes / int64(cfg.GPUExecutors) / mean)
+				if cfg.CPUExecutors > 0 {
+					s.cpuPoolSlots = int(cfg.Alloc.CPUExpertBytes / int64(cfg.CPUExecutors) / mean)
+				}
+			}
+		}
+	}
+
 	s.recorder.SetWindow(cfg.Window)
 	s.setActive(cfg.GPUExecutors, cfg.CPUExecutors)
 	s.initializeExperts()
 	return s, nil
 }
+
+// Env returns the simulation environment the system is bound to.
+func (s *System) Env() *sim.Env { return s.env }
+
+// OwnsEnv reports whether the system created its environment (NewSystem)
+// or joined an external one (NewSystemInEnv).
+func (s *System) OwnsEnv() bool { return s.ownsEnv }
 
 // setActive resizes the active executor set to the first gpu GPU and
 // first cpu CPU executors, clamped to the built topology (at least one
@@ -294,14 +370,23 @@ func (s *System) PredictLatency(r *coe.Request) time.Duration {
 // initializeExperts preloads experts into pools round-robin in
 // descending usage-probability order until every pool is full (§4.1,
 // "Experts are distributed into each executor in a round-robin manner,
-// prioritized by descending usage probabilities").
+// prioritized by descending usage probabilities"). A non-nil
+// Config.Preload replaces the usage order with an explicit plan — the
+// cluster placement hook — preloaded round-robin in plan order.
 func (s *System) initializeExperts() {
 	if s.cfg.Variant.coldStart() {
 		return
 	}
+	order := s.m.ExpertsByUsage()
+	if s.cfg.Preload != nil {
+		order = make([]*coe.Expert, len(s.cfg.Preload))
+		for i, id := range s.cfg.Preload {
+			order[i] = s.m.Expert(id)
+		}
+	}
 	full := make([]bool, len(s.pools))
 	next := 0
-	for _, e := range s.m.ExpertsByUsage() {
+	for _, e := range order {
 		placed := false
 		for try := 0; try < len(s.pools); try++ {
 			i := (next + try) % len(s.pools)
@@ -348,6 +433,18 @@ func (s *System) LoadedExperts() int {
 	return n
 }
 
+// ExpertResident reports whether the expert is resident — Loaded or with
+// a load in flight — in any of the system's pools. Cluster routers use
+// it for expert-affinity placement of arriving requests.
+func (s *System) ExpertResident(id coe.ExpertID) bool {
+	for _, pl := range s.pools {
+		if pl.Resident(id) {
+			return true
+		}
+	}
+	return false
+}
+
 // dispatch assigns a request's current stage to a queue (§4.2). The
 // assigner only sees the active queue set — the autoscaler's scaling
 // hook — and picks are recorded as global queue indices. The wall-clock
@@ -365,6 +462,9 @@ func (s *System) dispatch(r *coe.Request) {
 	s.queues[idx].Enqueue(e, r)
 	if s.measure {
 		s.recorder.SchedOp(time.Since(start))
+	}
+	if s.windowExperts != nil {
+		s.windowExperts[e.ID] = struct{}{}
 	}
 	if s.cfg.Admission != nil {
 		// The backlog bound the control plane enforced, observable as the
@@ -405,16 +505,11 @@ func (s *System) onBatch(p *sim.Proc, r *coe.Request) {
 // each restart; a stream that ends with requests still in flight
 // poisons the System and fails all further calls.
 func (s *System) Serve(src workload.Source) (*Report, error) {
-	if s.broken != nil {
-		return nil, s.broken
+	if !s.ownsEnv {
+		return nil, fmt.Errorf("core: Serve on a system joined to an external env; the env owner drives it through JoinStream")
 	}
-	if s.serving {
-		return nil, fmt.Errorf("core: Serve called re-entrantly")
-	}
-	if s.runs > 0 && s.cfg.PreschedPicks != nil {
-		// A replay system reissues one recorded assignment sequence; a
-		// second stream would run past it.
-		return nil, fmt.Errorf("core: a pre-scheduled (replay) system serves exactly one stream")
+	if err := s.checkStream(); err != nil {
+		return nil, err
 	}
 	if workload.IsUnbounded(src) {
 		// An infinite source would keep the arrival process alive forever;
@@ -434,34 +529,10 @@ func (s *System) Serve(src workload.Source) (*Report, error) {
 		// per-stream statistics, keeping the recorder's sample buffers.
 		// Pool contents — the warm state — are deliberately kept.
 		s.env.Reopen()
-		s.recorder.Reset()
-		s.picks = s.picks[:0]
-		for _, ex := range s.executors {
-			ex.ResetStats()
-		}
-		for _, pl := range s.pools {
-			pl.ResetStats()
-		}
+		s.resetStream()
 	}
 	s.runs++
-	s.ctrl = newController(s, src)
-	if s.cfg.Admission != nil {
-		s.cfg.Admission.Reset(s.env.Now())
-	}
-	if s.cfg.Trace != nil {
-		// Delimit consecutive streams: request IDs restart per stream.
-		s.cfg.Trace.Add(trace.Event{
-			At: s.env.Now().Duration(), Kind: trace.KindStream, Detail: src.Name(),
-		})
-	}
-
-	for _, ex := range s.executors {
-		ex := ex
-		s.env.Go(ex.Name, ex.Run)
-	}
-	if s.cfg.Autoscaler != nil {
-		s.env.Go("autoscale", s.autoscale)
-	}
+	s.beginStream(src, nil)
 	s.env.Go("arrivals", s.ctrl.admit)
 	s.env.Run()
 
@@ -471,6 +542,141 @@ func (s *System) Serve(src workload.Source) (*Report, error) {
 		return nil, s.broken
 	}
 	return s.report(src.Name()), nil
+}
+
+// checkStream rejects stream starts on a system that cannot take one.
+func (s *System) checkStream() error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if s.serving {
+		return fmt.Errorf("core: stream started re-entrantly")
+	}
+	if s.runs > 0 && s.cfg.PreschedPicks != nil {
+		// A replay system reissues one recorded assignment sequence; a
+		// second stream would run past it.
+		return fmt.Errorf("core: a pre-scheduled (replay) system serves exactly one stream")
+	}
+	return nil
+}
+
+// resetStream zeroes the per-stream statistics for a warm restart,
+// keeping the recorder's sample buffers and — deliberately — the pool
+// contents, the warm state.
+func (s *System) resetStream() {
+	s.recorder.Reset()
+	s.picks = s.picks[:0]
+	// Experts dispatched after the previous stream's last window
+	// boundary must not inflate the next stream's first working-set
+	// sample (clear is a no-op on a nil map).
+	clear(s.windowExperts)
+	for _, ex := range s.executors {
+		ex.ResetStats()
+	}
+	for _, pl := range s.pools {
+		pl.ResetStats()
+	}
+}
+
+// beginStream arms one stream: a fresh controller (with the delegate for
+// externally fed streams), admission reset, the stream trace marker, and
+// the executor and autoscaler processes. The caller then starts the
+// arrival process — the controller's own admit loop for Serve, the
+// cluster's router loop for joined systems — and runs the env.
+func (s *System) beginStream(src workload.Source, d StreamDelegate) {
+	s.ctrl = newController(s, src)
+	s.ctrl.delegate = d
+	if s.cfg.Admission != nil {
+		s.cfg.Admission.Reset(s.env.Now())
+	}
+	if s.cfg.Trace != nil {
+		// Delimit consecutive streams: request IDs restart per stream.
+		s.cfg.Trace.Add(trace.Event{
+			At: s.env.Now().Duration(), Kind: trace.KindStream, Detail: s.ctrl.stream,
+		})
+	}
+	for _, ex := range s.executors {
+		ex := ex
+		s.env.Go(ex.Name, ex.Run)
+	}
+	if s.cfg.Autoscaler != nil {
+		s.env.Go("autoscale", s.autoscale)
+	}
+}
+
+// StreamDelegate observes a joined system's stream from the outside —
+// the cluster layer's completion hook. RequestDone fires once per
+// request, at the virtual instant its final stage completes, after the
+// node's own accounting.
+type StreamDelegate interface {
+	RequestDone(p *sim.Proc, r *coe.Request)
+}
+
+// JoinStream arms a joined system (NewSystemInEnv) for one externally
+// fed stream named stream: per-stream statistics are reset (the env
+// owner re-arms the shared env itself), the executors are launched into
+// the shared env, and subsequent Offer calls feed arrivals in. The env
+// owner closes the stream with CloseStream once the arrival process is
+// exhausted and collects the node's slice of the run with StreamReport
+// after the env drains.
+func (s *System) JoinStream(stream string, d StreamDelegate) error {
+	if s.ownsEnv {
+		return fmt.Errorf("core: JoinStream on a system that owns its env; use Serve")
+	}
+	if err := s.checkStream(); err != nil {
+		return err
+	}
+	s.serving = true
+	if s.runs > 0 {
+		s.resetStream()
+	}
+	s.runs++
+	s.beginStream(namedStream(stream), d)
+	return nil
+}
+
+// namedStream is the placeholder source of a joined stream: it only
+// carries the stream name (requests arrive through Offer, not Next).
+type namedStream string
+
+func (n namedStream) Name() string                      { return string(n) }
+func (namedStream) Next() (workload.TimedRequest, bool) { return workload.TimedRequest{}, false }
+
+// Offer feeds one externally routed arrival into the node's admission
+// and dispatch path at the current virtual time, exactly as the node's
+// own arrival process would, and reports whether the request was
+// admitted. A rejected request leaves only a rejection mark. Offer must
+// only be called between JoinStream and CloseStream, from a process of
+// the shared env.
+func (s *System) Offer(p *sim.Proc, tr workload.TimedRequest) bool {
+	return s.ctrl.offer(p, tr)
+}
+
+// CloseStream marks a joined stream's arrival process exhausted: once
+// the node's admitted requests drain, its executors shut down. Called by
+// the env owner when the cluster-wide source closes.
+func (s *System) CloseStream() {
+	c := s.ctrl
+	c.closed = true
+	if c.completed == c.admitted {
+		c.finish()
+	}
+}
+
+// StreamReport ends a joined stream after the shared env has drained and
+// returns the node's slice of the run. A stream that ended with requests
+// still in flight poisons the system, like a broken Serve.
+func (s *System) StreamReport() (*Report, error) {
+	if !s.serving {
+		return nil, fmt.Errorf("core: StreamReport without a joined stream")
+	}
+	s.serving = false
+	if !s.ctrl.finished {
+		s.broken = fmt.Errorf("core: stream %q ended with %d of %d requests incomplete on %s",
+			s.ctrl.stream, s.ctrl.admitted-s.ctrl.completed, s.ctrl.admitted, s.cfg.ID)
+		return nil, s.broken
+	}
+	return s.report(s.ctrl.stream), nil
 }
 
 // autoscale is the control-plane process: once per window it samples
@@ -504,11 +710,15 @@ func (s *System) autoscale(p *sim.Proc) {
 			return busy.Seconds() / (window.Seconds() * float64(count))
 		}
 		u := control.Utilization{
-			Window:  window,
-			GPUBusy: busyOver(0, s.activeGPU),
-			CPUBusy: busyOver(s.cfg.GPUExecutors, s.activeCPU),
-			Queued:  s.Queued(),
+			Window:       window,
+			GPUBusy:      busyOver(0, s.activeGPU),
+			CPUBusy:      busyOver(s.cfg.GPUExecutors, s.activeCPU),
+			Queued:       s.Queued(),
+			WorkingSet:   len(s.windowExperts),
+			GPUPoolSlots: s.gpuPoolSlots,
+			CPUPoolSlots: s.cpuPoolSlots,
 		}
+		clear(s.windowExperts)
 		for i, ex := range s.executors {
 			lastBusy[i] = ex.BusyTime()
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/coe"
 	"testing"
 
 	"repro/internal/hw"
@@ -264,5 +265,88 @@ func TestVariantStrings(t *testing.T) {
 	}
 	if Variant(99).String() == "" {
 		t.Error("unknown variant string empty")
+	}
+}
+
+// TestPreloadPlanOverridesUsageOrder: a Config.Preload list replaces
+// the §4.1 descending-usage initialization with exactly the planned
+// experts, and an empty non-nil plan preloads nothing.
+func TestPreloadPlanOverridesUsageOrder(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	pm := perfFor(t, hw.NUMADevice())
+	g, c := DefaultExecutors(hw.NUMADevice())
+	base := Config{
+		Device: hw.NUMADevice(), Variant: CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: CasualAllocation(hw.NUMADevice(), pm, g, c), Perf: pm,
+	}
+
+	plan := base
+	plan.Preload = []coe.ExpertID{5, 9, 13}
+	s, err := NewSystem(plan, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadedExperts(); got != 3 {
+		t.Errorf("planned preload loaded %d experts, want 3", got)
+	}
+	for _, id := range plan.Preload {
+		if !s.ExpertResident(id) {
+			t.Errorf("planned expert %d not resident", id)
+		}
+	}
+
+	empty := base
+	empty.Preload = []coe.ExpertID{}
+	s2, err := NewSystem(empty, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.LoadedExperts(); got != 0 {
+		t.Errorf("empty plan preloaded %d experts, want 0", got)
+	}
+
+	bad := base
+	bad.Preload = []coe.ExpertID{coe.ExpertID(board.Model.NumExperts())}
+	if _, err := NewSystem(bad, board.Model); err == nil {
+		t.Error("NewSystem accepted an out-of-range preload plan")
+	}
+
+	// Default (nil) stays the usage-order initialization: the hottest
+	// expert must be resident.
+	s3, err := NewSystem(base, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hottest := board.Model.ExpertsByUsage()[0]
+	if !s3.ExpertResident(hottest.ID) {
+		t.Error("default initialization left the hottest expert out")
+	}
+}
+
+// TestConfigIDPrefixesNames: a node ID namespaces executor and pool
+// names; an empty ID leaves them untouched.
+func TestConfigIDPrefixesNames(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	s := buildSystem(t, hw.NUMADevice(), CoServe, board)
+	if got := s.Queues()[0].Name(); got != "gpu0" {
+		t.Errorf("unprefixed queue named %q, want gpu0", got)
+	}
+	pm := perfFor(t, hw.NUMADevice())
+	g, c := DefaultExecutors(hw.NUMADevice())
+	cfg := Config{
+		Device: hw.NUMADevice(), Variant: CoServe, ID: "node7",
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: CasualAllocation(hw.NUMADevice(), pm, g, c), Perf: pm,
+	}
+	s2, err := NewSystem(cfg, board.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Queues()[0].Name(); got != "node7/gpu0" {
+		t.Errorf("prefixed queue named %q, want node7/gpu0", got)
+	}
+	if got := s2.Pools()[0].Name(); got != "node7/gpu0" {
+		t.Errorf("prefixed pool named %q, want node7/gpu0", got)
 	}
 }

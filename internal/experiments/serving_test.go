@@ -160,3 +160,57 @@ func TestServeMixPreservesTenants(t *testing.T) {
 		t.Errorf("tenant completions %d do not sum to total %d", sum, total)
 	}
 }
+
+// TestServeClusterScalesAndRewardsAffinity is the cluster experiment's
+// acceptance contract: adding nodes lifts fleet throughput past a
+// single node's knee, and at the widest fleet, residency-aware routing
+// over a residency-aware placement beats residency-blind least-loaded
+// over mirrored pools on both attainment and switches.
+func TestServeClusterScalesAndRewardsAffinity(t *testing.T) {
+	tb := runExp(t, "serve-cluster")
+	if len(tb.Rows) != 27 {
+		t.Fatalf("rows = %d, want 27 (3 nodes x 3 routers x 3 placements)", len(tb.Rows))
+	}
+	cell := func(nodes, router, placement, col string) float64 {
+		for i, row := range tb.Rows {
+			if row[0] == nodes && row[1] == router && row[2] == placement {
+				return cellFloat(t, tb, i, col)
+			}
+		}
+		t.Fatalf("row %s/%s/%s not found", nodes, router, placement)
+		return 0
+	}
+	// All 1-node rows are the same system: router and placement have one
+	// node to choose from and usage placement degenerates to the usage
+	// order.
+	oneNode := cell("1", "least-loaded", "mirror", "throughput")
+	for _, router := range []string{"least-loaded", "affinity", "predict"} {
+		if tp := cell("1", router, "mirror", "throughput"); tp != oneNode {
+			t.Errorf("1-node throughput differs across routers: %.2f vs %.2f", tp, oneNode)
+		}
+	}
+	// Four nodes lift the fleet well past one node's saturated rate.
+	four := cell("4", "affinity", "usage", "throughput")
+	if four < 1.5*oneNode {
+		t.Errorf("4-node fleet %.1f img/s not at least 1.5x one node's %.1f", four, oneNode)
+	}
+	// Residency-aware routing+placement beats blind balancing at 4 nodes.
+	blindAttain := cell("4", "least-loaded", "mirror", "slo attainment")
+	awareAttain := cell("4", "affinity", "usage", "slo attainment")
+	if awareAttain <= blindAttain {
+		t.Errorf("affinity/usage attainment %.1f%% not above least-loaded/mirror %.1f%%",
+			awareAttain, blindAttain)
+	}
+	blindSwitches := cell("4", "least-loaded", "mirror", "switches")
+	awareSwitches := cell("4", "affinity", "usage", "switches")
+	if awareSwitches >= blindSwitches {
+		t.Errorf("affinity/usage switches %.0f not below least-loaded/mirror %.0f",
+			awareSwitches, blindSwitches)
+	}
+	// Imbalance stays sane: never below 1, never a single-node pile-up.
+	for i, row := range tb.Rows {
+		if im := cellFloat(t, tb, i, "imbalance"); im < 1 || im > 4 {
+			t.Errorf("row %v: imbalance %.2f outside [1,4]", row[:3], im)
+		}
+	}
+}

@@ -124,6 +124,24 @@ func (p *Pool) IsLoaded(id coe.ExpertID) bool {
 	return ok && e.Status == Loaded
 }
 
+// Resident reports whether the expert occupies the pool at all — Loaded,
+// or Loading with the switch-in still in flight. Cluster routers use it
+// for expert affinity: a request routed to a pool whose expert is
+// already loading pays the remaining wait, not a fresh switch.
+func (p *Pool) Resident(id coe.ExpertID) bool {
+	_, ok := p.entries[id]
+	return ok
+}
+
+// Status reports the expert's residency state in the pool.
+func (p *Pool) Status(id coe.ExpertID) Status {
+	e, ok := p.entries[id]
+	if !ok {
+		return Absent
+	}
+	return e.Status
+}
+
 // Loaded returns the number of resident experts.
 func (p *Pool) Loaded() int {
 	n := 0
