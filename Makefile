@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci bench race bench-experiments bench-cluster cover
+.PHONY: all build test vet fmt-check ci bench race bench-experiments bench-cluster bench-fleet cover
 
 all: build
 
@@ -37,11 +37,13 @@ race:
 	$(GO) test -race ./...
 
 # bench compiles and executes every benchmark exactly once (no test
-# functions), so the benchmark harness cannot rot. Compare against the
-# recorded baseline in BENCH_kernel.json before merging kernel or
-# scheduler changes.
+# functions), so the benchmark harness cannot rot, and pipes the output
+# through benchguard, which fails loudly if BenchmarkFleetServe's
+# allocs/op or bytes/op regress past the BENCH_fleet.json baseline.
+# Compare against the recorded baseline in BENCH_kernel.json before
+# merging kernel or scheduler changes.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... | $(GO) run ./cmd/benchguard -baseline BENCH_fleet.json
 
 # bench-experiments reproduces the BENCH_experiments.json measurement:
 # the full experiment registry, sequential vs all cores.
@@ -55,3 +57,11 @@ bench-experiments:
 # regeneration recipe.
 bench-cluster:
 	$(GO) test -bench 'BenchmarkClusterServe|BenchmarkPoissonServe$$' -benchtime 20x -run '^$$' .
+
+# bench-fleet reproduces (and gates) the BENCH_fleet.json measurement:
+# the 100-node / 1M-request fleet hot path in sketch + arena mode. The
+# guard fails if allocs/op or bytes/op regress past the recorded
+# baseline; after an intentional change, paste the new numbers into
+# BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -bench BenchmarkFleetServe -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_fleet.json

@@ -429,6 +429,82 @@ func BenchmarkProfiledMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetServe measures the fleet-scale hot path: a 100-node
+// CoServe cluster in sketch-percentile mode serving an arena-backed
+// Steady stream, picks recording off — every O(stream-length) data
+// structure replaced by its O(1) counterpart. The two sub-benchmarks
+// differ only in stream length (100k vs 1M requests at the same
+// offered rate); because completions recycle their requests, drained
+// scheduler groups recycle, and the sketch is fixed-size, memory grows
+// far sublinearly across the 10× (construction dominates; what scales
+// is per-expert-switch eviction bookkeeping, ~4 B/request). Those
+// absolute numbers are the regression gate pinned in BENCH_fleet.json
+// (`make bench-fleet` regenerates and checks it).
+func BenchmarkFleetServe(b *testing.B) {
+	const (
+		fleetNodes = 100
+		fleetRate  = 600.0 // ~72% of the fleet's measured capacity: loaded, not backlogged
+	)
+	dev := hw.NUMADevice()
+	board, err := workload.BoardA().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, c := core.DefaultExecutors(dev)
+	node := core.Config{
+		Device: dev, Variant: core.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: core.CasualAllocation(dev, perf, g, c), Perf: perf,
+		SLO:          500 * time.Millisecond,
+		Percentiles:  core.PercentilesSketch,
+		DisablePicks: true,
+	}
+	for _, requests := range []int{100_000, 1_000_000} {
+		requests := requests
+		b.Run(fmt.Sprintf("nodes=%d/requests=%d", fleetNodes, requests), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl, err := coserve.NewCluster(coserve.ClusterConfig{
+					Nodes:       coserve.UniformNodes(fleetNodes, node),
+					Router:      cluster.Affinity{},
+					Placement:   cluster.UsageProportional{},
+					SLO:         node.SLO,
+					Percentiles: core.PercentilesSketch,
+				}, board.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				arena := coe.NewArena()
+				src, err := workload.Steady{
+					Name: "bench-fleet", Board: board,
+					Rate: fleetRate, Seed: 20260807, Arena: arena,
+				}.NewSource()
+				if err != nil {
+					b.Fatal(err)
+				}
+				horizon := time.Duration(float64(requests) / fleetRate * float64(time.Second))
+				rep, err := cl.Serve(workload.Horizon(src, horizon))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Completions < int64(requests) {
+					b.Fatalf("completions = %d, want >= %d", rep.Completions, requests)
+				}
+				if rep.LatencySketch == nil || rep.LatencySketch.Count() != rep.Completions {
+					b.Fatal("fleet sketch missing or miscounted")
+				}
+				if free := arena.Free(); int64(free) >= rep.Completions/10 {
+					b.Fatalf("arena free list %d not bounded by in-flight peak", free)
+				}
+			}
+		})
+	}
+}
+
 // TestBenchSanity keeps the bench harness honest under plain `go test`:
 // the headline figure regenerates and contains every expected system.
 func TestBenchSanity(t *testing.T) {

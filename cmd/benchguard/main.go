@@ -1,0 +1,149 @@
+// Command benchguard gates benchmark regressions: it reads `go test
+// -bench` output on stdin, echoes it through, and compares every
+// benchmark named in the baseline JSON against its recorded
+// allocs/op and bytes/op. Allocation counts in this codebase are
+// deterministic, so the allocation gate is tight; wall time varies
+// with the machine and is reported informationally only.
+//
+// Usage:
+//
+//	go test -bench BenchmarkFleetServe -benchtime 1x -run '^$' . |
+//	    go run ./cmd/benchguard -baseline BENCH_fleet.json
+//
+// The guard fails (exit 1) when a baselined benchmark regresses past
+// its factor, is missing from the input, or when the input carries a
+// test failure marker — so a broken bench run cannot pass silently.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the BENCH_*.json layout: recorded measurements plus
+// the tolerated regression factors.
+type baseline struct {
+	Description string `json:"description"`
+	Guard       struct {
+		// AllocsFactor and BytesFactor multiply the recorded values to
+		// form the failure thresholds. Zero means "use the default"
+		// (1.25 for allocs, 1.5 for bytes).
+		AllocsFactor float64 `json:"allocs_factor"`
+		BytesFactor  float64 `json:"bytes_factor"`
+	} `json:"guard"`
+	Results map[string]struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+// gomaxprocsSuffix strips the "-8" style GOMAXPROCS suffix go test
+// appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline JSON file (required)")
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	allocsFactor, bytesFactor := base.Guard.AllocsFactor, base.Guard.BytesFactor
+	if allocsFactor == 0 {
+		allocsFactor = 1.25
+	}
+	if bytesFactor == 0 {
+		bytesFactor = 1.5
+	}
+
+	var failures []string
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL") {
+			failures = append(failures, fmt.Sprintf("bench run reported failure: %q", line))
+			continue
+		}
+		name, metrics, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		rec, guarded := base.Results[name]
+		if !guarded {
+			continue
+		}
+		seen[name] = true
+		if limit := rec.AllocsPerOp * allocsFactor; metrics["allocs/op"] > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f allocs/op exceeds baseline %.0f ×%.2f = %.0f",
+				name, metrics["allocs/op"], rec.AllocsPerOp, allocsFactor, limit))
+		}
+		if limit := rec.BytesPerOp * bytesFactor; metrics["B/op"] > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f B/op exceeds baseline %.0f ×%.2f = %.0f",
+				name, metrics["B/op"], rec.BytesPerOp, bytesFactor, limit))
+		}
+		if rec.NsPerOp > 0 {
+			fmt.Printf("benchguard: %s wall time %.2fx of baseline (informational)\n",
+				name, metrics["ns/op"]/rec.NsPerOp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	for name := range base.Results {
+		if !seen[name] {
+			failures = append(failures, fmt.Sprintf("baselined benchmark %s missing from input", name))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: OK — %d benchmark(s) within baseline (%s)\n", len(seen), *baselinePath)
+}
+
+// parseBenchLine parses one "BenchmarkName  iters  v unit  v unit ..."
+// result line into the benchmark's base name and its metrics by unit.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	return name, metrics, true
+}

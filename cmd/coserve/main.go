@@ -18,6 +18,8 @@
 //	coserve serve -admit bounded -queue-bound 32 -autoscale -window 250ms
 //	coserve serve -nodes 4 -router affinity -placement usage -rate 40 -slo 500ms
 //	                                     # cluster: 4 nodes, residency routing
+//	coserve serve -nodes 4 -percentiles sketch -arrival steady -rate 40 -horizon 30s
+//	                                     # long stream: O(1)-memory latency sketch
 //	coserve serve -record trace.bin -n 500
 //	coserve serve -arrival replay -trace trace.bin -repeat 2
 //	                                     # capture, then replay bit-for-bit
@@ -299,6 +301,7 @@ func cmdServe(args []string) error {
 	autoscale := fs.Bool("autoscale", false, "autoscale the active executor set on windowed utilization (hysteresis 0.3/0.85)")
 	reachable := fs.Bool("autoscale-reachable", false, "with -autoscale, refuse scale-downs whose surviving pools cannot hold the working set")
 	window := fs.Duration("window", 0, "windowed-metrics interval and autoscale cadence (0 = default when autoscaling, else disabled)")
+	percentiles := fs.String("percentiles", "exact", "latency percentile accounting: exact (store every sample) or sketch (O(1) mergeable sketch, ±1% values)")
 	nodes := fs.Int("nodes", 1, "cluster size: serve across this many nodes sharing one simulation (1 = single-node system)")
 	routerName := fs.String("router", "least-loaded", "cluster request router (with -nodes >= 2): least-loaded, affinity, predict")
 	placementName := fs.String("placement", "mirror", "cluster expert placement (with -nodes >= 2): mirror, partition, usage")
@@ -332,6 +335,15 @@ func cmdServe(args []string) error {
 	}
 	if *admit == "shed" && *slo <= 0 {
 		return fmt.Errorf("-admit shed needs a positive -slo objective")
+	}
+	var pmode coserve.PercentileMode
+	switch *percentiles {
+	case "exact":
+		pmode = coserve.PercentilesExact
+	case "sketch":
+		pmode = coserve.PercentilesSketch
+	default:
+		return fmt.Errorf("unknown percentile mode %q (want exact or sketch)", *percentiles)
 	}
 	// Admission policies and autoscalers carry per-stream state, so every
 	// node needs its own instances; newAdmission/newAutoscaler build them.
@@ -460,7 +472,7 @@ func cmdServe(args []string) error {
 	cfg := core.Config{
 		Device: dev, Variant: variant,
 		GPUExecutors: g, CPUExecutors: c, Perf: perf, SLO: *slo,
-		Admission: admission, Window: *window,
+		Admission: admission, Window: *window, Percentiles: pmode,
 	}
 	if cfg.Autoscaler, err = newAutoscaler(); err != nil {
 		return err
@@ -545,7 +557,7 @@ func cmdServe(args []string) error {
 		}
 		cl, err := coserve.NewCluster(coserve.ClusterConfig{
 			Nodes: nodeCfgs, Router: router, Placement: placement,
-			SLO: *slo, Window: *window,
+			SLO: *slo, Window: *window, Percentiles: pmode,
 		}, board.Model)
 		if err != nil {
 			return err

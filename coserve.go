@@ -63,6 +63,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/profiler"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -119,6 +120,18 @@ const NoExpert = coe.NoExpert
 // Request is one inference request traveling a CoE pipeline.
 type Request = coe.Request
 
+// RequestArena is an optional free-list of Request objects. Attach one
+// to a workload spec (Poisson/Bursty/Steady .Arena) and the source
+// leases each request from it instead of allocating; the serving layer
+// returns requests on completion or rejection, so steady-state
+// allocation is bounded by the in-flight peak rather than stream
+// length. One arena feeds one serving stream at a time, but persists
+// across consecutive streams and warm restarts.
+type RequestArena = coe.Arena
+
+// NewRequestArena returns an empty request arena.
+func NewRequestArena() *RequestArena { return coe.NewArena() }
+
 // ComputeUsage fills in expert usage probabilities from a class
 // distribution (§4.5); EstimateUsage does the same from sampled chains.
 func ComputeUsage(m *Model, classProbs map[int]float64) error {
@@ -157,6 +170,25 @@ type (
 	Config     = core.Config
 	Allocation = core.Allocation
 )
+
+// PercentileMode selects how latency percentiles are accounted
+// (Config.Percentiles, ClusterConfig.Percentiles): PercentilesExact
+// stores every sample (the default, used by the golden artifacts);
+// PercentilesSketch streams samples into a fixed-size mergeable
+// quantile sketch — O(1) memory per stream, rank-exact percentiles
+// accurate to ±1% in value.
+type PercentileMode = core.PercentileMode
+
+// Percentile accounting modes.
+const (
+	PercentilesExact  = core.PercentilesExact
+	PercentilesSketch = core.PercentilesSketch
+)
+
+// Sketch is the fixed-size mergeable latency sketch behind
+// PercentilesSketch; Report.LatencySketch and
+// ClusterReport.LatencySketch expose the stream's sketch in that mode.
+type Sketch = stats.Sketch
 
 // Report summarizes one served stream (throughput, switches, latency
 // percentiles, SLO attainment, scheduling overhead).

@@ -55,6 +55,13 @@ type Config struct {
 	// Window enables the fleet-level windowed series with the given
 	// interval (0 disables).
 	Window time.Duration
+	// Percentiles selects exact or sketch latency accounting for the
+	// whole fleet. It is a cluster-level knob: New propagates it into
+	// every node config (overriding whatever the node configs carry) so
+	// per-node sketches exist exactly when the fleet sketch does and
+	// merge losslessly into the cluster report. The zero value is
+	// exact — byte-identical to the pre-sketch reports.
+	Percentiles core.PercentileMode
 }
 
 // Uniform returns n copies of the node configuration — the homogeneous
@@ -136,6 +143,9 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 		c.placement = Mirror{}
 	}
 	c.recorder.SetWindow(cfg.Window)
+	if cfg.Percentiles == core.PercentilesSketch {
+		c.recorder.UseSketch()
+	}
 
 	caps := make([]NodeCapacity, len(cfg.Nodes))
 	for i, nc := range cfg.Nodes {
@@ -159,6 +169,7 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 		if plan != nil {
 			nc.Preload = plan[i]
 		}
+		nc.Percentiles = cfg.Percentiles
 		sys, err := core.NewSystemInEnv(nc, m, c.env)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %s: %w", nc.ID, err)

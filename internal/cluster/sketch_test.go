@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestClusterSketchMergeExact is the tentpole's merge contract: in
+// sketch mode the fleet percentiles are assembled by merging per-node
+// sketches, and that merge must be lossless — identical, quantile for
+// quantile, to the fleet recorder's own sketch that saw every
+// completion directly.
+func TestClusterSketchMergeExact(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	cfg := Config{
+		Nodes:       Uniform(4, nodeConfig(t, hw.NUMADevice())),
+		Router:      LeastLoaded{},
+		SLO:         500 * time.Millisecond,
+		Percentiles: core.PercentilesSketch,
+	}
+	c := buildCluster(t, cfg, board.Model)
+	rep, err := c.Serve(poissonFor(t, board, 30, 600, 2026))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LatencySketch == nil {
+		t.Fatal("sketch-mode cluster report carries no merged sketch")
+	}
+	var nodeCompletions int64
+	for _, nr := range rep.PerNode {
+		if nr.LatencySketch == nil {
+			t.Fatalf("node %s report carries no sketch — cluster mode was not propagated", nr.System)
+		}
+		nodeCompletions += nr.Completions
+	}
+	if nodeCompletions != rep.Completions {
+		t.Fatalf("node completions sum to %d, fleet reports %d", nodeCompletions, rep.Completions)
+	}
+	fleet := c.recorder.Sketch()
+	if fleet == nil {
+		t.Fatal("fleet recorder has no sketch in sketch mode")
+	}
+	merged := rep.LatencySketch
+	if merged.Count() != fleet.Count() || merged.Min() != fleet.Min() || merged.Max() != fleet.Max() {
+		t.Fatalf("merged count/min/max = %d/%v/%v, fleet recorder %d/%v/%v",
+			merged.Count(), merged.Min(), merged.Max(), fleet.Count(), fleet.Min(), fleet.Max())
+	}
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		if m, f := merged.Quantile(q), fleet.Quantile(q); m != f {
+			t.Fatalf("merge not lossless: Quantile(%v) merged %v != fleet %v", q, m, f)
+		}
+	}
+	for _, lim := range []float64{0.05, 0.1, 0.25, 0.5, 1, 2} {
+		if m, f := merged.Attainment(lim), fleet.Attainment(lim); m != f {
+			t.Fatalf("merge not lossless: Attainment(%v) merged %v != fleet %v", lim, m, f)
+		}
+	}
+	if rep.Latency.P50 > rep.Latency.P95 || rep.Latency.P95 > rep.Latency.P99 {
+		t.Errorf("fleet percentiles not monotone: %+v", rep.Latency)
+	}
+}
+
+// TestClusterSketchMatchesExactWithinBound: the same cluster stream in
+// sketch mode agrees with exact mode on all exact quantities and on
+// percentiles within the sketch's accuracy bound (plus one rank-gap of
+// interpolation slack).
+func TestClusterSketchMatchesExactWithinBound(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	serve := func(mode core.PercentileMode) *Report {
+		cfg := Config{
+			Nodes:       Uniform(2, nodeConfig(t, hw.NUMADevice())),
+			SLO:         500 * time.Millisecond,
+			Percentiles: mode,
+		}
+		c := buildCluster(t, cfg, board.Model)
+		rep, err := c.Serve(poissonFor(t, board, 24, 400, 777))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	exact := serve(core.PercentilesExact)
+	sketch := serve(core.PercentilesSketch)
+	if exact.LatencySketch != nil {
+		t.Error("exact mode must not carry a merged sketch")
+	}
+	if exact.Completions != sketch.Completions || exact.Makespan != sketch.Makespan ||
+		exact.Imbalance != sketch.Imbalance {
+		t.Fatal("sketch mode changed serving behavior")
+	}
+	el, sl := exact.Latency, sketch.Latency
+	if el.N != sl.N || el.Min != sl.Min || el.Max != sl.Max {
+		t.Fatalf("N/Min/Max must stay exact: %d/%v/%v vs %d/%v/%v",
+			sl.N, sl.Min, sl.Max, el.N, el.Min, el.Max)
+	}
+	tol := 2.5 * sketch.LatencySketch.RelativeAccuracy()
+	for _, pair := range [][2]float64{{sl.P50, el.P50}, {sl.P95, el.P95}, {sl.P99, el.P99}} {
+		if math.Abs(pair[0]-pair[1]) > tol*pair[1] {
+			t.Errorf("sketch percentile %v deviates more than %.1f%% from exact %v",
+				pair[0], 100*tol, pair[1])
+		}
+	}
+	if math.Abs(sketch.SLOAttainment-exact.SLOAttainment) > 0.02 {
+		t.Errorf("attainment %v deviates from exact %v", sketch.SLOAttainment, exact.SLOAttainment)
+	}
+}
+
+// TestClusterArenaServe: an arena-backed stream served across a fleet
+// recycles through the cluster delegate path — every node completion
+// returns its request, so the pool stays bounded and a rerun on the
+// same arena reuses it.
+func TestClusterArenaServe(t *testing.T) {
+	const n = 400
+	board := boardFor(t, workload.BoardA())
+	cfg := Config{
+		Nodes:       Uniform(3, nodeConfig(t, hw.NUMADevice())),
+		Percentiles: core.PercentilesSketch,
+	}
+	c := buildCluster(t, cfg, board.Model)
+	arena := coe.NewArena()
+	stream := func(seed int64) workload.Source {
+		src, err := workload.Poisson{
+			Name: "arena-fleet", Board: board, Rate: 24, N: n, Seed: seed, Arena: arena,
+		}.NewSource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	rep, err := c.Serve(stream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completions != n {
+		t.Fatalf("completions = %d, want %d", rep.Completions, n)
+	}
+	if arena.Leases() != n {
+		t.Fatalf("arena leased %d, want %d", arena.Leases(), n)
+	}
+	if arena.Reuses() == 0 {
+		t.Error("no reuses — cluster completions are not recycling")
+	}
+	if arena.Free() > n/2 {
+		t.Errorf("free list %d not bounded by in-flight peak", arena.Free())
+	}
+	firstReuses := arena.Reuses()
+	rep2, err := c.Serve(stream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Completions != n {
+		t.Fatalf("warm-restart completions = %d, want %d", rep2.Completions, n)
+	}
+	if arena.Reuses()-firstReuses < n/2 {
+		t.Error("warm-restarted fleet stream did not reuse the pool")
+	}
+	// Sanity on the merged sketch after a warm restart: counts reflect
+	// only the second stream.
+	if rep2.LatencySketch.Count() != n {
+		t.Errorf("second stream's sketch counts %d, want %d", rep2.LatencySketch.Count(), n)
+	}
+}
+
+// TestSketchExactFieldsNilInDefaultMode guards the golden contract: a
+// default-mode (exact) cluster report must have nil sketch fields so
+// the existing byte-identity and DeepEqual report tests keep passing.
+func TestSketchExactFieldsNilInDefaultMode(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	cfg := Config{Nodes: Uniform(1, nodeConfig(t, hw.NUMADevice()))}
+	c := buildCluster(t, cfg, board.Model)
+	rep, err := c.Serve(poissonFor(t, board, 24, 120, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LatencySketch != nil || rep.PerNode[0].LatencySketch != nil {
+		t.Error("exact-mode reports must carry nil sketches")
+	}
+	var zero stats.Summary
+	if rep.Latency == zero {
+		t.Error("exact-mode latency summary is empty")
+	}
+}

@@ -20,6 +20,10 @@ type Request struct {
 	Arrival sim.Time
 	// Done is stamped when the final stage completes.
 	Done sim.Time
+
+	// arena, when non-nil, marks the request as leased from an Arena;
+	// Recycle returns it there. Plain NewRequest objects leave it nil.
+	arena *Arena
 }
 
 // NewRequest returns a request at stage 0 of the given chain.

@@ -52,6 +52,23 @@ func (r *RuleRouter) Route(class int, u float64) ([]ExpertID, error) {
 	return []ExpertID{rule.Classifier, rule.Detector}, nil
 }
 
+// AppendRoute is Route without the allocation: it appends the chain
+// for one request of the given class to dst and returns the extended
+// slice. With a dst that retains capacity (an arena-recycled request's
+// chain), routing is allocation-free. The pass decision is identical
+// to Route for the same u.
+func (r *RuleRouter) AppendRoute(dst []ExpertID, class int, u float64) ([]ExpertID, error) {
+	rule, ok := r.rules[class]
+	if !ok {
+		return dst, fmt.Errorf("coe: no routing rule for class %d", class)
+	}
+	dst = append(dst, rule.Classifier)
+	if rule.Detector != NoExpert && u < rule.PassProb {
+		dst = append(dst, rule.Detector)
+	}
+	return dst, nil
+}
+
 // ComputeUsage sets every expert's UsageProb from the class distribution
 // classProbs (which must sum to ~1) and the model's routing rules:
 // a classifier's probability is the total probability of its classes; a

@@ -195,6 +195,44 @@ type Config struct {
 	// interval. Zero disables windowed metrics, unless an Autoscaler is
 	// set, in which case it defaults to DefaultControlWindow.
 	Window time.Duration
+	// Percentiles selects how latency percentiles are computed. The
+	// zero value (PercentilesExact) stores every sample and reports
+	// exact percentiles — the mode golden experiments run in, byte-
+	// identical to the pre-sketch behavior. PercentilesSketch streams
+	// samples into a fixed-size mergeable quantile sketch instead, so
+	// recorder memory is O(1) in completions; percentiles then carry
+	// the sketch's documented relative-accuracy bound (1%).
+	Percentiles PercentileMode
+	// DisablePicks stops the per-dispatch assignment recording that
+	// feeds Report.Picks and PreschedPicks replay. The picks slice
+	// grows with the total stage count of the stream — fine for the
+	// paper's bounded tasks, unwanted for fleet-scale streams of
+	// millions of requests. Off by default.
+	DisablePicks bool
+}
+
+// PercentileMode selects exact (store-every-sample) or sketch
+// (fixed-size streaming) latency percentile accounting.
+type PercentileMode int
+
+const (
+	// PercentilesExact stores every latency sample; percentiles are
+	// exact. The default.
+	PercentilesExact PercentileMode = iota
+	// PercentilesSketch streams samples into a mergeable quantile
+	// sketch (stats.Sketch); memory is O(1) in completions and
+	// percentiles are accurate to the sketch's documented bound.
+	PercentilesSketch
+)
+
+func (m PercentileMode) String() string {
+	switch m {
+	case PercentilesExact:
+		return "exact"
+	case PercentilesSketch:
+		return "sketch"
+	}
+	return fmt.Sprintf("PercentileMode(%d)", int(m))
 }
 
 // evictPolicy resolves the effective eviction policy.

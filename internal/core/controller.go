@@ -46,12 +46,24 @@ type controller struct {
 	order    []string // tenant names in first-seen order
 }
 
-// tenantAgg accumulates one tenant's slice of a multi-tenant run.
+// tenantAgg accumulates one tenant's slice of a multi-tenant run. In
+// sketch mode latency samples stream into sketch instead of latencies,
+// so per-tenant accounting is also O(1) in completions.
 type tenantAgg struct {
 	admitted  int64
 	rejected  int64
 	completed int64
 	latencies []float64
+	sketch    *stats.Sketch
+}
+
+// addLatency records one completion latency (seconds) for the tenant.
+func (a *tenantAgg) addLatency(lat float64) {
+	if a.sketch != nil {
+		a.sketch.Add(lat)
+		return
+	}
+	a.latencies = append(a.latencies, lat)
 }
 
 func newController(s *System, src workload.Source) *controller {
@@ -108,6 +120,10 @@ func (c *controller) offer(p *sim.Proc, tr workload.TimedRequest) bool {
 				At: now.Duration(), Kind: trace.KindRejected, Request: r.ID,
 			})
 		}
+		// The rejection is fully recorded (counters and the trace event
+		// copy values, not the pointer), so an arena-leased request can
+		// go straight back to its free list.
+		coe.Recycle(r)
 		return false
 	}
 	r.Arrival = now
@@ -151,7 +167,7 @@ func (c *controller) onBatch(p *sim.Proc, r *coe.Request) {
 	if tenant, ok := c.tenantOf[r.ID]; ok {
 		agg := c.tenants[tenant]
 		agg.completed++
-		agg.latencies = append(agg.latencies, now.Sub(r.Arrival).Seconds())
+		agg.addLatency(now.Sub(r.Arrival).Seconds())
 		delete(c.tenantOf, r.ID)
 	}
 	if s.cfg.Trace != nil {
@@ -164,6 +180,10 @@ func (c *controller) onBatch(p *sim.Proc, r *coe.Request) {
 	if c.delegate != nil {
 		c.delegate.RequestDone(p, r)
 	}
+	// Last touch of the request: its completion is recorded, the trace
+	// event holds copies, the tenant entry is gone, and the delegate has
+	// observed it. An arena-leased request is now safe to reuse.
+	coe.Recycle(r)
 	if c.closed && c.completed == c.admitted {
 		c.finish()
 	}
@@ -189,6 +209,9 @@ func (c *controller) tenantFor(tenant string) *tenantAgg {
 	agg, ok := c.tenants[tenant]
 	if !ok {
 		agg = &tenantAgg{}
+		if c.sys.cfg.Percentiles == PercentilesSketch {
+			agg.sketch = stats.NewSketch()
+		}
 		c.tenants[tenant] = agg
 		c.order = append(c.order, tenant)
 	}
@@ -217,9 +240,14 @@ func (c *controller) tenantStats(slo float64) []TenantStats {
 			Admitted:    agg.admitted,
 			Rejected:    agg.rejected,
 			Completions: agg.completed,
-			Latency:     stats.Summarize(agg.latencies),
 		}
-		ts.SLOAttainment = stats.Attainment(agg.latencies, slo)
+		if agg.sketch != nil {
+			ts.Latency = agg.sketch.Summary()
+			ts.SLOAttainment = agg.sketch.Attainment(slo)
+		} else {
+			ts.Latency = stats.Summarize(agg.latencies)
+			ts.SLOAttainment = stats.Attainment(agg.latencies, slo)
+		}
 		out = append(out, ts)
 	}
 	return out

@@ -287,6 +287,9 @@ func newSystem(cfg Config, m *coe.Model, env *sim.Env, ownsEnv bool) (*System, e
 	}
 
 	s.recorder.SetWindow(cfg.Window)
+	if cfg.Percentiles == PercentilesSketch {
+		s.recorder.UseSketch()
+	}
 	s.setActive(cfg.GPUExecutors, cfg.CPUExecutors)
 	s.initializeExperts()
 	return s, nil
@@ -475,7 +478,9 @@ func (s *System) dispatch(r *coe.Request) {
 			s.ctrl.peakQueued = q
 		}
 	}
-	s.picks = append(s.picks, idx)
+	if !s.cfg.DisablePicks {
+		s.picks = append(s.picks, idx)
+	}
 	if s.cfg.Trace != nil {
 		s.cfg.Trace.Add(trace.Event{
 			At: s.env.Now().Duration(), Kind: trace.KindAssign,

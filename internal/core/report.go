@@ -74,7 +74,14 @@ type Report struct {
 
 	// Latency summarizes per-request end-to-end latency in seconds,
 	// including the p50/p95/p99 percentiles serving SLOs are scored on.
+	// Exact in the default mode; sketch-accurate (1% relative) when
+	// Config.Percentiles is PercentilesSketch.
 	Latency stats.Summary
+	// LatencySketch is the stream's mergeable latency sketch — an
+	// independent clone, safe to hold across warm restarts. Nil in the
+	// default exact mode; the cluster layer merges per-node sketches
+	// from here into its fleet report.
+	LatencySketch *stats.Sketch
 
 	// SLO echoes the configured per-request latency objective (0 when
 	// none was set).
@@ -135,6 +142,9 @@ func (s *System) report(stream string) *Report {
 	}
 	if r.Offered > 0 {
 		r.RejectionRate = float64(r.Rejected) / float64(r.Offered)
+	}
+	if sk := s.recorder.Sketch(); sk != nil {
+		r.LatencySketch = sk.Clone()
 	}
 	if ws := s.recorder.Windows(); len(ws) > 0 {
 		// Copy: the recorder reuses its window buffer across warm

@@ -28,6 +28,7 @@ func serveRegistry() []Experiment {
 		{"serve-mix", "serving", "multi-tenant mix of board A and B streams on one merged model", ServeMix},
 		{"serve-overload", "serving", "admission policies (accept-all, bounded queue, token bucket, SLO shed) vs offered load past the knee", ServeOverload},
 		{"serve-cluster", "cluster", "multi-node serving: node count × router × placement, fleet aggregates", ServeCluster},
+		{"serve-fleet", "cluster", "100-node fleet under steady load: exact vs sketch percentile accounting", ServeFleet},
 	}
 }
 

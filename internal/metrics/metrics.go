@@ -54,8 +54,12 @@ type Recorder struct {
 	haveOrigin bool
 	windows    []Window
 
-	// latencies holds per-request end-to-end latency in seconds.
+	// latencies holds per-request end-to-end latency in seconds —
+	// every sample, so percentiles are exact. In sketch mode (see
+	// UseSketch) it stays empty and samples stream into sketch
+	// instead, making recorder memory O(1) in completions.
 	latencies []float64
+	sketch    *stats.Sketch
 
 	// schedWall is real wall-clock time spent inside scheduling code;
 	// schedOps counts scheduling decisions. The simulation clock never
@@ -79,8 +83,27 @@ func (r *Recorder) Reset() {
 	r.haveOrigin = false
 	r.windows = r.windows[:0]
 	r.latencies = r.latencies[:0]
+	if r.sketch != nil {
+		r.sketch.Reset()
+	}
 	r.schedWall, r.schedOps = 0, 0
 }
+
+// UseSketch switches the recorder to streaming-quantile mode: latency
+// samples feed a fixed-size mergeable stats.Sketch instead of the
+// store-every-sample buffer, so memory is O(1) in completions and
+// LatencySummary/SLOAttainment carry the sketch's documented accuracy
+// bound. Latencies returns nil in this mode. The switch is one-way and
+// survives Reset; enable it before the first sample.
+func (r *Recorder) UseSketch() {
+	if r.sketch == nil {
+		r.sketch = stats.NewSketch()
+	}
+}
+
+// Sketch returns the recorder's latency sketch (nil unless UseSketch
+// was called). Callers must not modify it; clone before mutating.
+func (r *Recorder) Sketch() *stats.Sketch { return r.sketch }
 
 // SetWindow enables (d > 0) or disables (d <= 0) the windowed series.
 // The setting survives Reset, so warm-restarted streams keep their
@@ -153,7 +176,11 @@ func (r *Recorder) Completion(arrival, t sim.Time) {
 		r.lastCompletion = t
 	}
 	lat := t.Sub(arrival).Seconds()
-	r.latencies = append(r.latencies, lat)
+	if r.sketch != nil {
+		r.sketch.Add(lat)
+	} else {
+		r.latencies = append(r.latencies, lat)
+	}
 	if w := r.bucket(t); w != nil {
 		w.Completions++
 		w.LatencySum += lat
@@ -194,13 +221,24 @@ func (r *Recorder) Throughput() float64 {
 	return float64(r.completions) / mk
 }
 
-// Latencies returns per-request latencies in seconds. Callers must not
+// Latencies returns per-request latencies in seconds, or nil in sketch
+// mode (individual samples are not retained there). Callers must not
 // modify the returned slice, and must not hold it across a Reset.
-func (r *Recorder) Latencies() []float64 { return r.latencies }
+func (r *Recorder) Latencies() []float64 {
+	if r.sketch != nil {
+		return nil
+	}
+	return r.latencies
+}
 
 // LatencySummary summarizes per-request end-to-end latency in seconds,
 // including the p50/p95/p99 tail percentiles serving reports quote.
+// Exact in the default mode; within the sketch's accuracy bound in
+// sketch mode (N, Mean, Std, Min, Max stay exact either way).
 func (r *Recorder) LatencySummary() stats.Summary {
+	if r.sketch != nil {
+		return r.sketch.Summary()
+	}
 	return stats.Summarize(r.latencies)
 }
 
@@ -209,6 +247,9 @@ func (r *Recorder) LatencySummary() stats.Summary {
 // completed and 1 under a non-positive (disabled) objective — an
 // unconstrained run trivially attains its SLO.
 func (r *Recorder) SLOAttainment(slo time.Duration) float64 {
+	if r.sketch != nil {
+		return r.sketch.Attainment(slo.Seconds())
+	}
 	return stats.Attainment(r.latencies, slo.Seconds())
 }
 

@@ -161,3 +161,91 @@ func TestResetKeepsSampleCapacity(t *testing.T) {
 		t.Errorf("post-Reset summary = %+v", got)
 	}
 }
+
+// TestResetKeepsWindowCapacity pins the windowed-series analogue: a
+// warm restart with windows enabled must reuse the window buffer, so
+// re-recording an identical windowed stream performs zero allocations.
+func TestResetKeepsWindowCapacity(t *testing.T) {
+	r := NewRecorder()
+	r.SetWindow(10 * time.Millisecond)
+	record := func() {
+		for i := 0; i < 200; i++ {
+			at := sim.Time(i) * sim.Time(time.Millisecond)
+			r.Arrival(at)
+			r.Completion(at, at.Add(5*time.Millisecond))
+		}
+	}
+	record()
+	if len(r.Windows()) < 20 {
+		t.Fatalf("windowed series has %d windows, want >= 20", len(r.Windows()))
+	}
+	grown := cap(r.windows)
+	r.Reset()
+	if len(r.Windows()) != 0 {
+		t.Fatalf("Reset left %d windows", len(r.Windows()))
+	}
+	if cap(r.windows) != grown {
+		t.Fatalf("Reset dropped window capacity: %d -> %d", grown, cap(r.windows))
+	}
+	if r.Window() != 10*time.Millisecond {
+		t.Fatalf("Reset dropped window setting: %v", r.Window())
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		record()
+		r.Reset()
+	}); allocs > 0 {
+		t.Errorf("warm windowed stream allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestRecorderSketchMode: with UseSketch enabled the recorder keeps no
+// per-sample storage, reports summaries and attainment through the
+// sketch, and records allocation-free no matter how many completions
+// stream through — the O(1)-in-completions property.
+func TestRecorderSketchMode(t *testing.T) {
+	exact, sk := NewRecorder(), NewRecorder()
+	sk.UseSketch()
+	if sk.Sketch() == nil {
+		t.Fatal("UseSketch did not install a sketch")
+	}
+	for i := 1; i <= 1000; i++ {
+		at := sim.Time(i) * sim.Time(time.Millisecond)
+		done := at.Add(time.Duration(i) * time.Millisecond)
+		exact.Arrival(at)
+		exact.Completion(at, done)
+		sk.Arrival(at)
+		sk.Completion(at, done)
+	}
+	if got := sk.Latencies(); got != nil {
+		t.Fatalf("sketch mode retained %d samples, want nil", len(got))
+	}
+	es, ss := exact.LatencySummary(), sk.LatencySummary()
+	if ss.N != es.N || ss.Min != es.Min || ss.Max != es.Max {
+		t.Fatalf("sketch N/Min/Max = %d/%v/%v, want exact %d/%v/%v",
+			ss.N, ss.Min, ss.Max, es.N, es.Min, es.Max)
+	}
+	alpha := sk.Sketch().RelativeAccuracy()
+	for _, pair := range [][2]float64{{ss.P50, es.P50}, {ss.P95, es.P95}, {ss.P99, es.P99}} {
+		if pair[0] < pair[1]*(1-2*alpha) || pair[0] > pair[1]*(1+2*alpha) {
+			t.Errorf("sketch percentile %v outside bound of exact %v", pair[0], pair[1])
+		}
+	}
+	if got, want := sk.SLOAttainment(time.Hour), 1.0; got != want {
+		t.Errorf("lax attainment = %v, want %v", got, want)
+	}
+	// The sketch survives Reset and stays allocation-free while warm.
+	sk.Reset()
+	if sk.Sketch() == nil || sk.Sketch().Count() != 0 {
+		t.Fatal("Reset must empty but keep the sketch")
+	}
+	if allocs := testing.AllocsPerRun(5, func() {
+		for i := 1; i <= 1000; i++ {
+			at := sim.Time(i) * sim.Time(time.Millisecond)
+			sk.Arrival(at)
+			sk.Completion(at, at.Add(time.Duration(i)*time.Millisecond))
+		}
+		sk.Reset()
+	}); allocs > 0 {
+		t.Errorf("warm sketch stream allocated %.1f objects/op, want 0", allocs)
+	}
+}

@@ -58,15 +58,19 @@ type Costs struct {
 // executor starts draining a group it is marked started; later arrivals
 // for the same expert form a fresh group right behind it.
 type Group struct {
-	Expert  *coe.Expert
-	items   []*coe.Request
+	Expert *coe.Expert
+	items  []*coe.Request
+	// off is the drained prefix of items: TakeFromHead advances it
+	// instead of re-slicing, so a recycled group keeps its full item
+	// capacity (see Queue.retire).
+	off     int
 	base    time.Duration // predicted one-time cost: B + switch
 	perItem time.Duration // predicted per-request cost: K
 	started bool
 }
 
 // Len reports the number of requests still in the group.
-func (g *Group) Len() int { return len(g.items) }
+func (g *Group) Len() int { return len(g.items) - g.off }
 
 // Started reports whether an executor has begun draining the group.
 func (g *Group) Started() bool { return g.started }
@@ -74,7 +78,7 @@ func (g *Group) Started() bool { return g.started }
 // PredictedRemaining reports the predicted time to finish the group's
 // remaining items, including the one-time cost if not started.
 func (g *Group) PredictedRemaining() time.Duration {
-	d := g.perItem * time.Duration(len(g.items))
+	d := g.perItem * time.Duration(g.Len())
 	if !g.started {
 		d += g.base
 	}
@@ -112,6 +116,15 @@ type Queue struct {
 	// model is small and fixed, so keeping them avoids re-allocating map
 	// entries across warm-restarted streams.
 	index map[coe.ExpertID]*expertIndex
+
+	// Drained groups are recycled so a long stream enqueues into a
+	// steady-state set of Group objects instead of allocating one per
+	// fresh group. retired is the most recently drained group; it moves
+	// to free (and is wiped) only when the NEXT group drains, because the
+	// executor that drained it may still hold its pointer — and batch
+	// slices aliasing its item array — until its next TakeFromHead.
+	retired *Group
+	free    []*Group
 
 	busyUntil sim.Time
 }
@@ -226,7 +239,8 @@ func (q *Queue) Enqueue(e *coe.Expert, r *coe.Request) {
 		g.items = append(g.items, r)
 		q.pending += k
 	} else {
-		g := &Group{Expert: e, perItem: k, base: q.costs.B(e)}
+		g := q.newGroup()
+		g.Expert, g.perItem, g.base = e, k, q.costs.B(e)
 		if !q.costs.IsLoaded(e.ID) && !q.hasExpert(e.ID) {
 			g.base += q.costs.PredictLoad(e)
 		}
@@ -241,6 +255,37 @@ func (q *Queue) Enqueue(e *coe.Expert, r *coe.Request) {
 	}
 	q.items++
 	q.gate.Notify()
+}
+
+// newGroup pops a recycled group or allocates a fresh one. Recycled
+// groups were wiped in retire and keep their item capacity.
+func (q *Queue) newGroup() *Group {
+	if n := len(q.free); n > 0 {
+		g := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		return g
+	}
+	return &Group{}
+}
+
+// retire recycles a drained group one drain late: g itself parks in
+// retired, and the previously retired group — whose last consumer has
+// by now moved past it — is wiped and pushed on the free list. The lag
+// guarantees a group is never handed back to Enqueue while the executor
+// that drained it can still observe its pointer or a batch slice
+// aliasing its item array.
+func (q *Queue) retire(g *Group) {
+	if p := q.retired; p != nil {
+		clear(p.items)
+		p.items = p.items[:0]
+		p.off = 0
+		p.Expert = nil
+		p.base, p.perItem = 0, 0
+		p.started = false
+		q.free = append(q.free, p)
+	}
+	q.retired = g
 }
 
 // insertGroup places a fresh group: normally at the tail, but a group
@@ -278,19 +323,20 @@ func (q *Queue) TakeFromHead(n int) []*coe.Request {
 		if ix := q.index[g.Expert.ID]; ix != nil && ix.open == g {
 			ix.open = nil
 		}
-		q.pending -= g.base + g.perItem*time.Duration(len(g.items))
+		q.pending -= g.base + g.perItem*time.Duration(g.Len())
 	}
-	if n > len(g.items) {
-		n = len(g.items)
+	if n > g.Len() {
+		n = g.Len()
 	}
-	batch := g.items[:n:n]
-	g.items = g.items[n:]
+	batch := g.items[g.off : g.off+n : g.off+n]
+	g.off += n
 	q.items -= n
-	if len(g.items) == 0 {
+	if g.Len() == 0 {
 		q.index[g.Expert.ID].groups--
 		copy(q.groups, q.groups[1:])
 		q.groups[len(q.groups)-1] = nil
 		q.groups = q.groups[:len(q.groups)-1]
+		q.retire(g)
 	}
 	return batch
 }

@@ -33,11 +33,15 @@ type Source interface {
 
 // sampler draws request chains from a board's distribution. All arrival
 // processes share it so that class sampling and routing consume the rng
-// identically regardless of arrival shape.
+// identically regardless of arrival shape. With an arena, requests are
+// leased from its free list and routed in place (alloc-free once the
+// pool is warm); the rng consumption — and therefore the stream — is
+// identical either way.
 type sampler struct {
 	board *Board
 	rng   *rand.Rand
 	next  int64
+	arena *coe.Arena
 }
 
 // draw produces the next request: one uniform draw for the class, one
@@ -45,7 +49,20 @@ type sampler struct {
 // Task.Generate.
 func (s *sampler) draw() (*coe.Request, error) {
 	class := s.board.SampleType(s.rng.Float64())
-	chain, err := s.board.Model.Router().Route(class, s.rng.Float64())
+	u := s.rng.Float64()
+	router := s.board.Model.Router()
+	if s.arena != nil {
+		r := s.arena.Lease()
+		chain, err := router.AppendRoute(r.Chain[:0], class, u)
+		if err != nil {
+			coe.Recycle(r)
+			return nil, err
+		}
+		r.Chain, r.ID, r.Class = chain, s.next, class
+		s.next++
+		return r, nil
+	}
+	chain, err := router.Route(class, u)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +127,11 @@ type Poisson struct {
 	N int
 	// Seed drives both the arrival gaps and the request contents.
 	Seed int64
+	// Arena, when non-nil, leases request objects from a free list the
+	// serving layer recycles into, making steady-state request
+	// allocation O(in-flight) instead of O(stream length). The stream
+	// contents are identical with or without it.
+	Arena *coe.Arena
 }
 
 type poissonSource struct {
@@ -132,7 +154,7 @@ func (p Poisson) NewSource() (Source, error) {
 	}
 	return &poissonSource{
 		spec:    p,
-		sampler: sampler{board: p.Board, rng: rand.New(rand.NewSource(p.Seed))},
+		sampler: sampler{board: p.Board, rng: rand.New(rand.NewSource(p.Seed)), arena: p.Arena},
 	}, nil
 }
 
@@ -174,6 +196,9 @@ type Bursty struct {
 	N int
 	// Seed drives the request contents.
 	Seed int64
+	// Arena, when non-nil, leases request objects from a recycled free
+	// list (see Poisson.Arena).
+	Arena *coe.Arena
 }
 
 type burstySource struct {
@@ -197,7 +222,7 @@ func (b Bursty) NewSource() (Source, error) {
 	}
 	return &burstySource{
 		spec:    b,
-		sampler: sampler{board: b.Board, rng: rand.New(rand.NewSource(b.Seed))},
+		sampler: sampler{board: b.Board, rng: rand.New(rand.NewSource(b.Seed)), arena: b.Arena},
 		onEnd:   b.On,
 	}, nil
 }
@@ -240,6 +265,10 @@ type Steady struct {
 	Rate float64
 	// Seed drives both the arrival gaps and the request contents.
 	Seed int64
+	// Arena, when non-nil, leases request objects from a recycled free
+	// list — the piece that makes an unbounded stream's allocation
+	// footprint O(in-flight) (see Poisson.Arena).
+	Arena *coe.Arena
 }
 
 type steadySource struct {
@@ -258,7 +287,7 @@ func (s Steady) NewSource() (Source, error) {
 	}
 	return &steadySource{
 		spec:    s,
-		sampler: sampler{board: s.Board, rng: rand.New(rand.NewSource(s.Seed))},
+		sampler: sampler{board: s.Board, rng: rand.New(rand.NewSource(s.Seed)), arena: s.Arena},
 	}, nil
 }
 
