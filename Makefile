@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci bench race bench-experiments bench-cluster bench-fleet cover
+.PHONY: all build test vet fmt-check ci bench race chaos-determinism bench-experiments bench-cluster bench-fleet cover
 
 all: build
 
@@ -32,9 +32,26 @@ cover:
 
 # race runs the whole test suite under the race detector: the parallel
 # run engine (internal/runner, the experiments fan-out) must stay clean
-# here.
-race:
+# here. The chaos determinism check rides along, with its -race leg
+# exercising the crash/redeliver path under the detector.
+race: chaos-determinism
 	$(GO) test -race ./...
+
+# chaos-determinism pins the fault-injection guarantee: the serve-chaos
+# experiment (rolling crash/drain/recover with lease redelivery) renders
+# byte-identically across plain runs AND under the race detector. The
+# trailing "(N experiment(s) regenerated in ...)" timing line is the one
+# wall-clock-dependent line in the output and is stripped before the
+# diff.
+chaos-determinism:
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/coserve experiment serve-chaos | sed '/experiment(s) regenerated in/d' > "$$tmp/a" || exit 1; \
+	$(GO) run ./cmd/coserve experiment serve-chaos | sed '/experiment(s) regenerated in/d' > "$$tmp/b" || exit 1; \
+	$(GO) run -race ./cmd/coserve experiment serve-chaos | sed '/experiment(s) regenerated in/d' > "$$tmp/c" || exit 1; \
+	cmp "$$tmp/a" "$$tmp/b" || { echo "chaos-determinism: two plain serve-chaos runs differ"; exit 1; }; \
+	cmp "$$tmp/a" "$$tmp/c" || { echo "chaos-determinism: serve-chaos differs under -race"; exit 1; }; \
+	echo "chaos-determinism: OK — serve-chaos byte-identical across runs and under -race"
 
 # bench compiles and executes every benchmark exactly once (no test
 # functions), so the benchmark harness cannot rot, and pipes the output

@@ -95,13 +95,15 @@ func main() {
 		seen[name] = true
 		if limit := rec.AllocsPerOp * allocsFactor; metrics["allocs/op"] > limit {
 			failures = append(failures, fmt.Sprintf(
-				"%s: %.0f allocs/op exceeds baseline %.0f ×%.2f = %.0f",
-				name, metrics["allocs/op"], rec.AllocsPerOp, allocsFactor, limit))
+				"%s: %.0f allocs/op vs baseline %.0f — %s observed > ×%.2f allowed (limit %.0f)",
+				name, metrics["allocs/op"], rec.AllocsPerOp,
+				ratio(metrics["allocs/op"], rec.AllocsPerOp), allocsFactor, limit))
 		}
 		if limit := rec.BytesPerOp * bytesFactor; metrics["B/op"] > limit {
 			failures = append(failures, fmt.Sprintf(
-				"%s: %.0f B/op exceeds baseline %.0f ×%.2f = %.0f",
-				name, metrics["B/op"], rec.BytesPerOp, bytesFactor, limit))
+				"%s: %.0f B/op vs baseline %.0f — %s observed > ×%.2f allowed (limit %.0f)",
+				name, metrics["B/op"], rec.BytesPerOp,
+				ratio(metrics["B/op"], rec.BytesPerOp), bytesFactor, limit))
 		}
 		if rec.NsPerOp > 0 {
 			fmt.Printf("benchguard: %s wall time %.2fx of baseline (informational)\n",
@@ -117,13 +119,25 @@ func main() {
 			failures = append(failures, fmt.Sprintf("baselined benchmark %s missing from input", name))
 		}
 	}
+	// Every regression is reported in one run — the full repair list, not
+	// just the first offender.
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL: %s\n", f)
 		}
+		fmt.Fprintf(os.Stderr, "benchguard: %d failure(s) against %s\n", len(failures), *baselinePath)
 		os.Exit(1)
 	}
 	fmt.Printf("benchguard: OK — %d benchmark(s) within baseline (%s)\n", len(seen), *baselinePath)
+}
+
+// ratio renders observed/baseline as a "×1.53"-style factor for failure
+// messages, tolerating a zero baseline.
+func ratio(observed, base float64) string {
+	if base == 0 {
+		return "×∞"
+	}
+	return fmt.Sprintf("×%.2f", observed/base)
 }
 
 // parseBenchLine parses one "BenchmarkName  iters  v unit  v unit ..."

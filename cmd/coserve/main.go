@@ -18,6 +18,11 @@
 //	coserve serve -admit bounded -queue-bound 32 -autoscale -window 250ms
 //	coserve serve -nodes 4 -router affinity -placement usage -rate 40 -slo 500ms
 //	                                     # cluster: 4 nodes, residency routing
+//	coserve serve -nodes 4 -chaos "crash@2s:1,recover@3.5s:1,drain@6s:2"
+//	                                     # chaos: crash/drain/recover nodes,
+//	                                     # leases redeliver, nothing is lost
+//	coserve serve -nodes 4 -chaos-mtbf 5s -chaos-mttr 1s -window 1s -fleet-autoscale 12
+//	                                     # generated MTBF faults + fleet scaling
 //	coserve serve -nodes 4 -percentiles sketch -arrival steady -rate 40 -horizon 30s
 //	                                     # long stream: O(1)-memory latency sketch
 //	coserve serve -record trace.bin -n 500
@@ -103,7 +108,13 @@ commands:
                replay arrival traces, and -nodes N -router R
                -placement P serves the stream across an N-node cluster
                (-nodes 1 is the plain single-node system; router and
-               placement apply from 2 nodes up)
+               placement apply from 2 nodes up), -chaos / -chaos-mtbf
+               inject node crash/drain/recover faults into the cluster
+               (crashed nodes' requests redeliver under lease tracking,
+               completions stay exactly-once), -cluster-admit puts an
+               admission policy in front of the router, and
+               -fleet-autoscale R drains/resumes nodes to track the
+               offered rate at R req/s per node (needs -window)
   profile      run the offline profiler and print the performance matrix`)
 }
 
@@ -305,6 +316,12 @@ func cmdServe(args []string) error {
 	nodes := fs.Int("nodes", 1, "cluster size: serve across this many nodes sharing one simulation (1 = single-node system)")
 	routerName := fs.String("router", "least-loaded", "cluster request router (with -nodes >= 2): least-loaded, affinity, predict")
 	placementName := fs.String("placement", "mirror", "cluster expert placement (with -nodes >= 2): mirror, partition, usage")
+	chaosSpec := fs.String("chaos", "", `scripted cluster fault schedule: comma-separated kind@offset:node events, e.g. "crash@2s:1,recover@3.5s:1,drain@6s:2" (needs -nodes >= 2)`)
+	chaosMTBF := fs.Duration("chaos-mtbf", 0, "generate an MTBF-style fault schedule: mean up time between crashes per node (needs -nodes >= 2; schedule horizon is -horizon)")
+	chaosMTTR := fs.Duration("chaos-mttr", time.Second, "mean down time before recovery for -chaos-mtbf")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for -chaos-mtbf schedule generation")
+	clusterAdmit := fs.String("cluster-admit", "", "cluster-level admission policy in front of the router: accept, bounded, token, shed (same knobs as -admit; empty = admit everything)")
+	fleetScale := fs.Float64("fleet-autoscale", 0, "drain/resume cluster nodes to track the offered rate at this many req/s per node (0 = off; needs -window and -nodes >= 2)")
 	record := fs.String("record", "", "record the served arrival stream to this trace file (first round)")
 	traceFile := fs.String("trace", "", "arrival trace file to serve for -arrival replay")
 	if err := fs.Parse(args); err != nil {
@@ -323,6 +340,15 @@ func cmdServe(args []string) error {
 	}
 	if *nodes < 1 {
 		return fmt.Errorf("nodes must be at least 1")
+	}
+	if (*chaosSpec != "" || *chaosMTBF > 0 || *clusterAdmit != "" || *fleetScale > 0) && *nodes < 2 {
+		return fmt.Errorf("-chaos, -chaos-mtbf, -cluster-admit, and -fleet-autoscale need a cluster (-nodes >= 2)")
+	}
+	if *chaosSpec != "" && *chaosMTBF > 0 {
+		return fmt.Errorf("-chaos and -chaos-mtbf are mutually exclusive: script the schedule or generate it, not both")
+	}
+	if *fleetScale > 0 && *window <= 0 {
+		return fmt.Errorf("-fleet-autoscale needs -window (the scaling interval)")
 	}
 	switch *arrival {
 	case "poisson", "fixed", "bursty", "mix", "steady":
@@ -555,15 +581,49 @@ func cmdServe(args []string) error {
 			}
 			nodeCfgs[i] = nc
 		}
+		var plan *coserve.FaultPlan
+		switch {
+		case *chaosSpec != "":
+			if plan, err = parseFaultPlan(*chaosSpec); err != nil {
+				return err
+			}
+		case *chaosMTBF > 0:
+			if plan, err = coserve.GenerateFaultPlan(*nodes, *chaosMTBF, *chaosMTTR, *horizon, *chaosSeed); err != nil {
+				return err
+			}
+			fmt.Printf("generated MTBF fault schedule: %d events over %v (mtbf %v, mttr %v, seed %d)\n",
+				len(plan.Events), *horizon, *chaosMTBF, *chaosMTTR, *chaosSeed)
+		}
+		var fleetAdmission control.AdmissionPolicy
+		if *clusterAdmit != "" {
+			fleetAdmission, err = control.PolicyByName(*clusterAdmit, control.PolicyOptions{
+				QueueBound: *queueBound,
+				Rate:       *admitRate, Burst: *admitBurst,
+				Objective: *slo,
+			})
+			if err != nil {
+				return err
+			}
+		}
+		var fleetScaler coserve.FleetAutoscaler
+		if *fleetScale > 0 {
+			if fleetScaler, err = coserve.NewRateFleetScaler(*fleetScale); err != nil {
+				return err
+			}
+		}
 		cl, err := coserve.NewCluster(coserve.ClusterConfig{
 			Nodes: nodeCfgs, Router: router, Placement: placement,
 			SLO: *slo, Window: *window, Percentiles: pmode,
+			Faults: plan, Admission: fleetAdmission, Autoscaler: fleetScaler,
 		}, board.Model)
 		if err != nil {
 			return err
 		}
 		where := fmt.Sprintf("%d×%s under %s (router %s, placement %s)",
 			*nodes, dev.Name, variant, router.Name(), placement.Name())
+		if plan != nil && !plan.Empty() {
+			where += fmt.Sprintf(", %d faults scheduled", len(plan.Events))
+		}
 		return serveRounds(where, func(src workload.Source) error {
 			rep, err := cl.Serve(src)
 			if err != nil {
@@ -588,6 +648,52 @@ func cmdServe(args []string) error {
 	})
 }
 
+// parseFaultPlan parses the -chaos schedule syntax: comma-separated
+// kind@offset:node events, e.g. "crash@2s:1,recover@3.5s:1,drain@6s:2".
+// The cluster validates the assembled plan (event ordering, node range,
+// and the per-node lifecycle state machine) when it is configured.
+func parseFaultPlan(spec string) (*coserve.FaultPlan, error) {
+	plan := &coserve.FaultPlan{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(tok, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -chaos event %q: want kind@offset:node", tok)
+		}
+		var kind coserve.FaultKind
+		switch kindStr {
+		case "crash":
+			kind = coserve.FaultCrash
+		case "drain":
+			kind = coserve.FaultDrain
+		case "recover":
+			kind = coserve.FaultRecover
+		default:
+			return nil, fmt.Errorf("bad -chaos event %q: unknown kind %q (want crash, drain, recover)", tok, kindStr)
+		}
+		offStr, nodeStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -chaos event %q: want kind@offset:node", tok)
+		}
+		off, err := time.ParseDuration(offStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -chaos event %q: %v", tok, err)
+		}
+		var node int
+		if _, err := fmt.Sscanf(nodeStr, "%d", &node); err != nil {
+			return nil, fmt.Errorf("bad -chaos event %q: node %q is not an integer", tok, nodeStr)
+		}
+		plan.Events = append(plan.Events, coserve.FaultEvent{At: off, Node: node, Kind: kind})
+	}
+	if plan.Empty() {
+		return nil, fmt.Errorf("-chaos %q contains no events", spec)
+	}
+	return plan, nil
+}
+
 // printClusterReport renders a fleet report: the cluster-wide summary
 // followed by one row per node.
 func printClusterReport(r *coserve.ClusterReport) {
@@ -605,13 +711,36 @@ func printClusterReport(r *coserve.ClusterReport) {
 		fmt.Fprintf(w, "slo attainment\t%.1f%% within %v\n", 100*r.SLOAttainment, r.SLO)
 	}
 	fmt.Fprintf(w, "imbalance\t%.2f (max/mean routed)\n", r.Imbalance)
+	if r.Faults > 0 {
+		fmt.Fprintf(w, "faults\t%d applied (%d crashes, %d drains, %d recoveries)\n",
+			r.Faults, r.Crashes, r.Drains, r.Recoveries)
+		fmt.Fprintf(w, "leases\t%d voided by crashes, %d redelivered, %d rejected on redelivery, peak %d parked\n",
+			r.LostLeases, r.Redelivered, r.RedeliveredRejected, r.PendingPeak)
+		if r.FailoverMax > 0 {
+			fmt.Fprintf(w, "failover\t%.3fs mean / %.3fs max (lease void to redelivered completion)\n",
+				r.FailoverMean.Seconds(), r.FailoverMax.Seconds())
+		}
+	}
+	if r.ScaleUps > 0 || r.ScaleDowns > 0 {
+		fmt.Fprintf(w, "fleet scaling\t%d scale-downs, %d scale-ups\n", r.ScaleDowns, r.ScaleUps)
+	}
+	for _, d := range r.TimeToDrain {
+		fmt.Fprintf(w, "drained\t%s in %.3fs\n", d.Node, d.Took.Seconds())
+	}
+	if len(r.FinalStates) > 0 {
+		states := make([]string, len(r.FinalStates))
+		for i, st := range r.FinalStates {
+			states[i] = st.String()
+		}
+		fmt.Fprintf(w, "final states\t%s\n", strings.Join(states, ", "))
+	}
 	w.Flush()
 	fmt.Println("per node:")
 	wn := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(wn, "  node\trouted\tadmitted\trejected\tcompleted\tswitches\tp95\tactive")
+	fmt.Fprintln(wn, "  node\trouted\tadmitted\trejected\tcompleted\tdropped\tswitches\tp95\tactive")
 	for i, nr := range r.PerNode {
-		fmt.Fprintf(wn, "  node%d\t%d\t%d\t%d\t%d\t%d\t%.2fs\t%dG+%dC\n",
-			i, r.Routed[i], nr.N, nr.Rejected, nr.Completions, nr.Switches,
+		fmt.Fprintf(wn, "  node%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2fs\t%dG+%dC\n",
+			i, r.Routed[i], nr.N, nr.Rejected, nr.Completions, nr.Dropped, nr.Switches,
 			nr.Latency.P95, nr.ActiveGPU, nr.ActiveCPU)
 	}
 	wn.Flush()

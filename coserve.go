@@ -63,6 +63,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/profiler"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -318,6 +319,57 @@ func ClusterRouterByName(name string) (ClusterRouter, error) { return cluster.Ro
 // (§4.4-style usage-proportional instance counts across the fleet).
 func ClusterPlacementByName(name string) (ClusterPlacement, error) {
 	return cluster.PlacementByName(name)
+}
+
+// Chaos layer: scripted node crash/drain/recover schedules
+// (ClusterConfig.Faults) fired deterministically into a serving
+// cluster, with lease-tracked at-least-once redelivery of a crashed
+// node's outstanding requests and exactly-once completion accounting.
+// A nil or empty FaultPlan injects nothing and leaves every serve path
+// byte-identical to the fault-free cluster.
+type (
+	FaultPlan  = sim.FaultPlan
+	FaultEvent = sim.FaultEvent
+	FaultKind  = sim.FaultKind
+	// NodeState is a node's lifecycle state (up, draining, down).
+	NodeState = core.NodeState
+	// NodeLease is the receipt a node returns when it accepts an offered
+	// request: the node now holds the request and will ack its
+	// completion, unless a crash voids the lease first.
+	NodeLease = core.Lease
+	// DrainRecord is one completed drain: the node and how long it took
+	// to finish in-flight work after routing stopped.
+	DrainRecord = cluster.DrainRecord
+	// FleetAutoscaler drives a cluster's routable node count from the
+	// fleet's windowed metrics series (ClusterConfig.Autoscaler).
+	FleetAutoscaler = cluster.FleetAutoscaler
+)
+
+// Fault kinds and node lifecycle states.
+const (
+	FaultCrash   = sim.FaultCrash
+	FaultDrain   = sim.FaultDrain
+	FaultRecover = sim.FaultRecover
+
+	NodeUp       = core.NodeUp
+	NodeDraining = core.NodeDraining
+	NodeDown     = core.NodeDown
+)
+
+// GenerateFaultPlan builds an MTBF-style fault schedule: each node
+// alternates exponentially distributed up intervals (mean mtbf) and
+// down intervals (mean mttr) until the horizon. Every crash inside the
+// horizon gets its matching recover — possibly past the horizon — so a
+// generated plan never strands voided work with the fleet down forever.
+// The schedule is a pure function of its arguments.
+func GenerateFaultPlan(nodes int, mtbf, mttr, horizon time.Duration, seed int64) (*FaultPlan, error) {
+	return sim.GenerateFaultPlan(nodes, mtbf, mttr, horizon, seed)
+}
+
+// NewRateFleetScaler returns a rate-driven fleet autoscaler targeting
+// perNode arrivals per second per node, with scale-down hysteresis.
+func NewRateFleetScaler(perNode float64) (FleetAutoscaler, error) {
+	return cluster.NewRateFleetScaler(perNode)
 }
 
 // CasualAllocation returns the paper's intuitive memory split (§5.2).

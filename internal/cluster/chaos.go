@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coe"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// chaosState is the durable-delivery bookkeeping of one fault-injected
+// stream. The cluster front end is the lease holder: every admission
+// opens a lease (with a private copy of the request's expert chain —
+// the node may recycle the request object into its arena at any time
+// after a crash), completions resolve leases exactly once, and a crash
+// voids the dead node's leases so their requests can be redelivered to
+// surviving nodes. All of it exists only when a fault plan is
+// configured; fault-free streams carry a nil *chaosState and pay
+// nothing.
+type chaosState struct {
+	arena *coe.Arena // redelivered requests lease from here when set
+
+	// ledger maps a live lease's request ID to its record; byNode holds
+	// each node's lease IDs in admission order, so a crash voids (and
+	// redelivers) them deterministically — never by map iteration, whose
+	// order would differ run to run. Entries in byNode go stale when a
+	// lease resolves; the crash walk skips IDs whose ledger entry is
+	// gone or has moved to another node.
+	ledger map[int64]*lease
+	byNode [][]int64
+
+	// pending holds voided (or never-delivered) leases waiting for a
+	// routable node, in void order; flushed on every recovery.
+	pending     []*lease
+	pendingPeak int
+
+	srcClosed bool
+
+	// Exactly-once accounting: at every fault boundary,
+	// arrivals == completions + terminalRejected + len(ledger) + len(pending).
+	arrivals         int64 // requests the source yielded
+	completions      int64 // lease-resolved completions (each request once)
+	terminalRejected int64 // requests rejected with no lease left open
+	violations       []string
+
+	crashes, drains, recoveries int
+	lostLeases                  int64 // leases voided by crashes
+	redelivered                 int64 // successful re-admissions of voided leases
+	redeliveredRejected         int64 // voided leases a node's admission refused
+	dupAcks                     int64 // completions with no live lease (0 by design)
+
+	failoverSum time.Duration
+	failoverMax time.Duration
+	failoverN   int64
+}
+
+// lease is one request's durable-delivery record: identity, the chain
+// copy redelivery rebuilds the request from, where it currently lives,
+// and its original arrival for exactly-once latency accounting.
+type lease struct {
+	id     int64
+	class  int
+	tenant string
+	chain  []coe.ExpertID // private copy; never aliases a live request
+
+	node         int // holding node, -1 while voided/parked
+	hasArrival   bool
+	arrival      sim.Time // first admission — the latency clock's origin
+	voidedAt     sim.Time
+	redeliveries int
+}
+
+func newChaosState(nodes int, arena *coe.Arena) *chaosState {
+	return &chaosState{
+		arena:  arena,
+		ledger: make(map[int64]*lease),
+		byNode: make([][]int64, nodes),
+	}
+}
+
+// open records a fresh admission: a new lease on the admitting node,
+// with the chain copied out of the live request.
+func (cs *chaosState) open(idx int, receipt core.Lease, tr workload.TimedRequest, now sim.Time) {
+	l := &lease{
+		id:         tr.Req.ID,
+		class:      tr.Req.Class,
+		tenant:     tr.Tenant,
+		chain:      append(make([]coe.ExpertID, 0, len(tr.Req.Chain)), tr.Req.Chain...),
+		node:       idx,
+		hasArrival: true,
+		arrival:    receipt.Issued,
+	}
+	cs.ledger[l.id] = l
+	cs.byNode[idx] = append(cs.byNode[idx], l.id)
+}
+
+// park records an arrival that found no routable node: a lease with no
+// holder, queued for delivery on the next recovery. The caller recycles
+// the request object afterwards — the lease owns its own chain copy.
+func (cs *chaosState) park(tr workload.TimedRequest, now sim.Time) {
+	l := &lease{
+		id:       tr.Req.ID,
+		class:    tr.Req.Class,
+		tenant:   tr.Tenant,
+		chain:    append(make([]coe.ExpertID, 0, len(tr.Req.Chain)), tr.Req.Chain...),
+		node:     -1,
+		voidedAt: now,
+	}
+	cs.pending = append(cs.pending, l)
+	if len(cs.pending) > cs.pendingPeak {
+		cs.pendingPeak = len(cs.pending)
+	}
+}
+
+// leaseRequest materializes a fresh request object for a lease — from
+// the arena when one is configured, allocated otherwise. The chain is
+// always copied out of the lease: the object the lease originally rode
+// in may have been recycled and re-leased by anyone since, so sharing
+// backing arrays in either direction would alias live state.
+func (cs *chaosState) leaseRequest(l *lease) *coe.Request {
+	if cs.arena != nil {
+		r := cs.arena.Lease()
+		r.ID = l.id
+		r.Class = l.class
+		r.Chain = append(r.Chain[:0], l.chain...)
+		return r
+	}
+	return coe.NewRequest(l.id, l.class, append([]coe.ExpertID(nil), l.chain...))
+}
+
+// verify asserts the exactly-once invariant at a fault boundary,
+// recording (not panicking on) violations so Serve can fail the stream
+// with the full list.
+func (cs *chaosState) verify(now sim.Time, where string) {
+	got := cs.completions + cs.terminalRejected + int64(len(cs.ledger)) + int64(len(cs.pending))
+	if got != cs.arrivals {
+		cs.violations = append(cs.violations, fmt.Sprintf(
+			"at %v (%s): completions %d + rejections %d + leased %d + pending %d = %d, want arrivals %d",
+			now.Duration(), where, cs.completions, cs.terminalRejected,
+			len(cs.ledger), len(cs.pending), got, cs.arrivals))
+	}
+}
+
+// applyFault fires one fault-plan event: the state transition on the
+// node, lease voiding and redelivery for crashes, drain timing for
+// drains, and pending-queue flushing for recoveries. The exactly-once
+// invariant is checked after every event — the fault boundaries.
+func (c *Cluster) applyFault(p *sim.Proc, ev sim.FaultEvent) {
+	now := p.Now()
+	cs := c.chaos
+	n := c.nodes[ev.Node]
+	switch ev.Kind {
+	case sim.FaultCrash:
+		st := n.sys.State()
+		if st == core.NodeDown {
+			break
+		}
+		cs.crashes++
+		if st == core.NodeUp {
+			c.unroutable++
+		} else { // Draining: already unroutable; the drain is moot now
+			c.draining--
+			c.drainOn[ev.Node] = false
+			c.scalerDrained[ev.Node] = false
+		}
+		// Void the node's outstanding leases in admission order, then
+		// crash the node (purging its queues and voiding its in-flight
+		// batches), then redeliver. The order matters for arena safety:
+		// by the time a redelivered request leases a possibly-recycled
+		// object, the ledger's chain copies are the only truth left from
+		// the original admission.
+		var voided []*lease
+		for _, id := range cs.byNode[ev.Node] {
+			l := cs.ledger[id]
+			if l == nil || l.node != ev.Node {
+				continue // resolved or moved since; stale byNode entry
+			}
+			delete(cs.ledger, id)
+			l.node = -1
+			l.voidedAt = now
+			voided = append(voided, l)
+		}
+		cs.byNode[ev.Node] = cs.byNode[ev.Node][:0]
+		cs.lostLeases += int64(len(voided))
+		n.sys.Crash(p)
+		for i, l := range voided {
+			if !c.redeliverOne(p, l) {
+				// No routable node: this and every remaining lease park.
+				cs.pending = append(cs.pending, voided[i:]...)
+				break
+			}
+		}
+		if len(cs.pending) > cs.pendingPeak {
+			cs.pendingPeak = len(cs.pending)
+		}
+	case sim.FaultDrain:
+		if n.sys.State() != core.NodeUp {
+			break
+		}
+		cs.drains++
+		n.sys.Drain()
+		c.unroutable++
+		c.draining++
+		c.drainOn[ev.Node] = true
+		c.drainStart[ev.Node] = now
+		c.scalerDrained[ev.Node] = false
+		c.checkDrains(now) // an idle node drains instantly
+	case sim.FaultRecover:
+		st := n.sys.State()
+		if st == core.NodeUp {
+			break
+		}
+		cs.recoveries++
+		if st == core.NodeDown {
+			n.sys.Restart()
+		} else {
+			n.sys.Resume()
+			c.draining--
+			c.drainOn[ev.Node] = false
+			c.scalerDrained[ev.Node] = false
+		}
+		c.unroutable--
+		c.flushPending(p)
+	}
+	cs.verify(now, fmt.Sprintf("%s node%d", ev.Kind, ev.Node))
+	c.maybeClose()
+}
+
+// redeliverOne re-dispatches a voided (or parked) lease: it rebuilds
+// the request, routes it over the Up subset, and offers it. Reports
+// false when no node is routable — the lease stays with the caller for
+// the pending queue. A node-admission rejection is terminal: the
+// request is gone, counted once, never double-counted in the fleet
+// recorder (a lease that already counted as an arrival does not also
+// count as a rejection).
+func (c *Cluster) redeliverOne(p *sim.Proc, l *lease) bool {
+	now := p.Now()
+	cs := c.chaos
+	r := cs.leaseRequest(l)
+	idx := c.pickNode(now, r)
+	if idx < 0 {
+		coe.Recycle(r)
+		return false
+	}
+	c.routed[idx]++
+	receipt, ok := c.nodes[idx].sys.Offer(p, workload.TimedRequest{Req: r, Tenant: l.tenant})
+	if ok {
+		if l.hasArrival {
+			cs.redelivered++
+			l.redeliveries++
+		} else {
+			l.hasArrival = true
+			l.arrival = receipt.Issued
+			c.recorder.Arrival(now)
+		}
+		l.node = idx
+		cs.ledger[l.id] = l
+		cs.byNode[idx] = append(cs.byNode[idx], l.id)
+	} else {
+		cs.terminalRejected++
+		if l.hasArrival {
+			cs.redeliveredRejected++
+		} else {
+			c.recorder.Rejection(now)
+		}
+	}
+	return true
+}
+
+// flushPending delivers parked leases in order after a recovery,
+// stopping (and keeping the rest parked) if the fleet goes unroutable
+// again mid-flush.
+func (c *Cluster) flushPending(p *sim.Proc) {
+	cs := c.chaos
+	if len(cs.pending) == 0 {
+		return
+	}
+	rest := cs.pending[:0]
+	for i, l := range cs.pending {
+		if !c.redeliverOne(p, l) {
+			rest = append(rest, cs.pending[i:]...)
+			break
+		}
+	}
+	for i := len(rest); i < len(cs.pending); i++ {
+		cs.pending[i] = nil
+	}
+	cs.pending = rest
+}

@@ -24,9 +24,11 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/coe"
+	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -62,6 +64,31 @@ type Config struct {
 	// merge losslessly into the cluster report. The zero value is
 	// exact — byte-identical to the pre-sketch reports.
 	Percentiles core.PercentileMode
+
+	// Admission, when set, is the cluster-level admission policy checked
+	// in front of the router: a request it rejects never reaches a node.
+	// The policy sees the Cluster as its control.View (fleet backlog,
+	// best-node latency prediction). Nil — the default — admits
+	// everything, byte-identical to the pre-admission cluster.
+	Admission control.AdmissionPolicy
+	// Faults is the stream's fault schedule: scripted crash/drain/
+	// recover events the cluster fires deterministically, with lease-
+	// tracked at-least-once redelivery of a crashed node's in-flight
+	// requests and exactly-once completion accounting. Nil or empty — the
+	// default — injects nothing and leaves every serve path byte-
+	// identical to the fault-free cluster.
+	Faults *sim.FaultPlan
+	// Arena, when set alongside Faults, leases redelivered requests from
+	// this arena (normally the same one the workload source draws from)
+	// instead of allocating them. Optional; redelivery is correct either
+	// way.
+	Arena *coe.Arena
+	// Autoscaler, when set, drives the routable node count from the
+	// fleet's windowed metrics series: once per Window it is asked for a
+	// desired Up count, and the cluster drains (highest-index first) or
+	// resumes nodes to match. Requires Window > 0. Nil disables fleet
+	// scaling.
+	Autoscaler FleetAutoscaler
 }
 
 // Uniform returns n copies of the node configuration — the homogeneous
@@ -118,6 +145,32 @@ type Cluster struct {
 	// routed counts arrivals handed to each node (admitted or not) this
 	// stream — the imbalance numerator.
 	routed []int64
+
+	// chaos is the per-stream durable-delivery state (lease ledger,
+	// redelivery queue, exactly-once counters); nil on fault-free
+	// streams, which therefore pay nothing for the machinery.
+	chaos *chaosState
+	// closedAll records that every node's stream has been closed; with
+	// faults the close is deferred until the ledger and redelivery queue
+	// drain, so a recovered node can still receive redeliveries.
+	closedAll bool
+
+	// unroutable counts nodes currently not Up. While it is zero the
+	// router sees c.nodes directly — the fault-free fast path; otherwise
+	// pickNode routes over the Up subset in scratch/scratchIdx.
+	unroutable int
+	scratch    []*Node
+	scratchIdx []int
+
+	// draining counts nodes currently Draining; drain timing below is
+	// allocated only when faults or a fleet autoscaler are configured.
+	draining      int
+	drainOn       []bool     // drain in progress, completion not yet recorded
+	drainStart    []sim.Time // when the drain began
+	scalerDrained []bool     // drain owned by the fleet autoscaler
+	drainRecords  []DrainRecord
+	scaleUps      int
+	scaleDowns    int
 }
 
 // New builds a cluster for the CoE model: the placement plan is
@@ -141,6 +194,12 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 	}
 	if c.placement == nil {
 		c.placement = Mirror{}
+	}
+	if err := cfg.Faults.Validate(len(cfg.Nodes)); err != nil {
+		return nil, err
+	}
+	if cfg.Autoscaler != nil && cfg.Window <= 0 {
+		return nil, fmt.Errorf("cluster: a fleet autoscaler needs Window > 0 (the scaling interval)")
 	}
 	c.recorder.SetWindow(cfg.Window)
 	if cfg.Percentiles == core.PercentilesSketch {
@@ -215,14 +274,55 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 		clear(c.routed)
 	}
 	c.runs++
-	for _, n := range c.nodes {
+	c.beginLifecycle()
+	for i, n := range c.nodes {
 		if err := n.sys.JoinStream(src.Name(), c); err != nil {
+			// Unwind the nodes already joined: close their (empty) streams
+			// and collect the reports, so they end this stream cleanly
+			// instead of being left serving a stream nobody will ever
+			// close. The cluster itself stays poisoned — a partial join is
+			// not a servable state — but the nodes are not.
+			if i > 0 {
+				for _, m := range c.nodes[:i] {
+					m.sys.CloseStream()
+				}
+				c.env.Run()
+				for _, m := range c.nodes[:i] {
+					m.sys.StreamReport()
+				}
+			}
 			c.broken = fmt.Errorf("cluster: node %s: %w", n.id, err)
 			return nil, c.broken
 		}
 	}
+	if c.cfg.Admission != nil {
+		c.cfg.Admission.Reset(c.env.Now())
+	}
+	if c.chaos != nil {
+		plan := c.cfg.Faults
+		c.env.Go("cluster/chaos", func(p *sim.Proc) {
+			plan.Run(p, func(ev sim.FaultEvent) { c.applyFault(p, ev) })
+		})
+	}
+	if c.cfg.Autoscaler != nil {
+		c.env.Go("cluster/autoscale", c.fleetAutoscale)
+	}
 	c.env.Go("cluster/arrivals", func(p *sim.Proc) { c.admit(p, src) })
 	c.env.Run()
+
+	if cs := c.chaos; cs != nil {
+		cs.verify(c.env.Now(), "stream end")
+		if len(cs.violations) > 0 {
+			c.broken = fmt.Errorf("cluster: exactly-once accounting violated:\n  %s",
+				strings.Join(cs.violations, "\n  "))
+			return nil, c.broken
+		}
+		if !c.closedAll {
+			c.broken = fmt.Errorf("cluster: stream %q ended with %d leases outstanding and %d requests undeliverable (no routable node remained to redeliver to)",
+				src.Name(), len(cs.ledger), len(cs.pending))
+			return nil, c.broken
+		}
+	}
 
 	reports := make([]*core.Report, len(c.nodes))
 	for i, n := range c.nodes {
@@ -234,6 +334,31 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 		reports[i] = rep
 	}
 	return c.report(src.Name(), reports), nil
+}
+
+// beginLifecycle arms the per-stream lifecycle state: a fresh chaos
+// ledger when a fault plan is configured, and the drain-timing buffers
+// when faults or a fleet autoscaler can drain nodes. Fault-free,
+// scaler-free streams allocate nothing here.
+func (c *Cluster) beginLifecycle() {
+	c.closedAll = false
+	c.unroutable, c.draining = 0, 0
+	c.scaleUps, c.scaleDowns = 0, 0
+	c.drainRecords = nil
+	c.chaos = nil
+	if !c.cfg.Faults.Empty() {
+		c.chaos = newChaosState(len(c.nodes), c.cfg.Arena)
+	}
+	if c.chaos != nil || c.cfg.Autoscaler != nil {
+		if c.drainOn == nil {
+			c.drainOn = make([]bool, len(c.nodes))
+			c.drainStart = make([]sim.Time, len(c.nodes))
+			c.scalerDrained = make([]bool, len(c.nodes))
+		}
+		clear(c.drainOn)
+		clear(c.drainStart)
+		clear(c.scalerDrained)
+	}
 }
 
 // admit is the cluster's arrival process: it walks the source, sleeps
@@ -252,26 +377,192 @@ func (c *Cluster) admit(p *sim.Proc, src workload.Source) {
 		if wait := due.Sub(p.Now()); wait > 0 {
 			p.Sleep(wait)
 		}
-		idx := c.router.Pick(p.Now(), c.nodes, tr.Req)
+		if c.chaos != nil {
+			c.chaos.arrivals++
+		}
+		c.deliver(p, tr)
+	}
+	if c.chaos == nil {
+		c.closedAll = true
+		for _, n := range c.nodes {
+			n.sys.CloseStream()
+		}
+		return
+	}
+	// With faults in play the close is deferred: a voided lease may
+	// still need redelivery to a node that has not recovered yet, so the
+	// nodes' streams stay open until every lease has resolved.
+	c.chaos.srcClosed = true
+	c.chaos.verify(p.Now(), "source exhausted")
+	c.maybeClose()
+}
+
+// deliver runs one arrival through cluster admission, routing, and the
+// chosen node's offer path. With faults configured it additionally
+// opens a lease in the chaos ledger on admission, and parks the request
+// for later redelivery when no routable node exists at this instant.
+func (c *Cluster) deliver(p *sim.Proc, tr workload.TimedRequest) {
+	now := p.Now()
+	if c.cfg.Admission != nil && !c.cfg.Admission.Admit(now, c, tr.Req) {
+		c.recorder.Rejection(now)
+		if c.chaos != nil {
+			c.chaos.terminalRejected++
+		}
+		coe.Recycle(tr.Req)
+		return
+	}
+	idx := c.pickNode(now, tr.Req)
+	if idx < 0 {
+		// Chaos only: the whole fleet is down or draining. Park the
+		// request (by value — the ledger owns its own chain copy) for
+		// redelivery when a node recovers, and recycle the object.
+		c.chaos.park(tr, now)
+		coe.Recycle(tr.Req)
+		return
+	}
+	c.routed[idx]++
+	lease, ok := c.nodes[idx].sys.Offer(p, tr)
+	if ok {
+		c.recorder.Arrival(now)
+		if c.chaos != nil {
+			c.chaos.open(idx, lease, tr, now)
+		}
+	} else {
+		c.recorder.Rejection(now)
+		if c.chaos != nil {
+			c.chaos.terminalRejected++
+		}
+	}
+}
+
+// pickNode asks the router for a node. While every node is Up it routes
+// over the full fleet — the fault-free fast path, unchanged from the
+// pre-chaos cluster; otherwise it presents the router with the Up
+// subset, so a draining or crashed node stops receiving work. Returns
+// -1 when no node is routable (only possible mid-fault).
+func (c *Cluster) pickNode(now sim.Time, r *coe.Request) int {
+	if c.unroutable == 0 {
+		idx := c.router.Pick(now, c.nodes, r)
 		if idx < 0 || idx >= len(c.nodes) {
 			panic(fmt.Sprintf("cluster: router %s picked node %d of %d", c.router.Name(), idx, len(c.nodes)))
 		}
-		c.routed[idx]++
-		if c.nodes[idx].sys.Offer(p, tr) {
-			c.recorder.Arrival(p.Now())
-		} else {
-			c.recorder.Rejection(p.Now())
+		return idx
+	}
+	c.scratch = c.scratch[:0]
+	c.scratchIdx = c.scratchIdx[:0]
+	for i, n := range c.nodes {
+		if n.sys.State() == core.NodeUp {
+			c.scratch = append(c.scratch, n)
+			c.scratchIdx = append(c.scratchIdx, i)
 		}
 	}
-	for _, n := range c.nodes {
-		n.sys.CloseStream()
+	if len(c.scratch) == 0 {
+		return -1
 	}
+	j := c.router.Pick(now, c.scratch, r)
+	if j < 0 || j >= len(c.scratch) {
+		panic(fmt.Sprintf("cluster: router %s picked node %d of %d routable", c.router.Name(), j, len(c.scratch)))
+	}
+	return c.scratchIdx[j]
+}
+
+// Queued implements control.View for cluster-level admission: the fleet
+// backlog across routable nodes.
+func (c *Cluster) Queued() int {
+	n := 0
+	for _, node := range c.nodes {
+		if node.sys.State() == core.NodeUp {
+			n += node.sys.Queued()
+		}
+	}
+	return n
+}
+
+// PredictLatency implements control.View: the best (minimum) predicted
+// end-to-end latency over routable nodes — the latency an ideal router
+// would obtain, the right optimistic bias for shedding decisions.
+func (c *Cluster) PredictLatency(r *coe.Request) time.Duration {
+	best := time.Duration(-1)
+	for _, node := range c.nodes {
+		if node.sys.State() != core.NodeUp {
+			continue
+		}
+		if d := node.sys.PredictLatency(r); best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
 }
 
 // RequestDone implements core.StreamDelegate: every node reports its
 // completions into the fleet recorder, which therefore holds the exact
 // per-request latency population — fleet percentiles are computed over
-// it, not approximated from per-node summaries.
+// it, not approximated from per-node summaries. With faults configured
+// the completion first resolves its lease, which both dedups (a
+// completion without a live lease counts nothing — exactly-once) and
+// restores the request's original arrival time for redelivered work, so
+// fleet latency spans first admission to final completion.
 func (c *Cluster) RequestDone(p *sim.Proc, r *coe.Request) {
-	c.recorder.Completion(r.Arrival, p.Now())
+	now := p.Now()
+	if cs := c.chaos; cs != nil {
+		l := cs.ledger[r.ID]
+		if l == nil {
+			cs.dupAcks++
+			return
+		}
+		delete(cs.ledger, r.ID)
+		cs.completions++
+		c.recorder.Completion(l.arrival, now)
+		if l.redeliveries > 0 {
+			d := now.Sub(l.voidedAt)
+			cs.failoverSum += d
+			cs.failoverN++
+			if d > cs.failoverMax {
+				cs.failoverMax = d
+			}
+		}
+		if c.draining > 0 {
+			c.checkDrains(now)
+		}
+		c.maybeClose()
+		return
+	}
+	c.recorder.Completion(r.Arrival, now)
+	if c.draining > 0 {
+		c.checkDrains(now)
+	}
+}
+
+// maybeClose closes every node's stream once the source is exhausted
+// and no lease or parked request remains — the chaos-mode close, which
+// must wait for redelivery to finish. No-op until then.
+func (c *Cluster) maybeClose() {
+	cs := c.chaos
+	if cs == nil || !cs.srcClosed || c.closedAll {
+		return
+	}
+	if len(cs.ledger) > 0 || len(cs.pending) > 0 {
+		return
+	}
+	c.closedAll = true
+	for _, n := range c.nodes {
+		n.sys.CloseStream()
+	}
+}
+
+// checkDrains records the completion time of any drain that has just
+// finished: a Draining node with nothing outstanding has drained, and
+// the record is the time from the drain order to this instant.
+func (c *Cluster) checkDrains(now sim.Time) {
+	for i, n := range c.nodes {
+		if c.drainOn != nil && c.drainOn[i] && n.sys.State() == core.NodeDraining && n.sys.Outstanding() == 0 {
+			c.drainOn[i] = false
+			c.drainRecords = append(c.drainRecords, DrainRecord{
+				Node: n.id, Took: now.Sub(c.drainStart[i]),
+			})
+		}
+	}
 }

@@ -66,6 +66,50 @@ type Report struct {
 	// PerNode holds each node's full report, in node order. Node-local
 	// slices (per-tenant stats, per-executor rows, windows) live here.
 	PerNode []*core.Report
+
+	// Chaos and lifecycle accounting — all zero on fault-free,
+	// scaler-free streams.
+
+	// Faults counts fault-plan events applied; Crashes, Drains, and
+	// Recoveries break them down.
+	Faults     int
+	Crashes    int
+	Drains     int
+	Recoveries int
+	// LostLeases counts leases voided by crashes; Redelivered counts
+	// their successful re-admissions (≤ LostLeases: a lease can be
+	// voided and redelivered more than once, or terminally rejected).
+	// RedeliveredRejected counts voided leases a node's admission
+	// refused — terminal losses the recorder's arrival count already
+	// includes, so on streams with them N = Completions +
+	// RedeliveredRejected. Dropped sums the nodes' crash-voided request
+	// counts (queued work purged plus in-flight batches discarded).
+	LostLeases          int64
+	Redelivered         int64
+	RedeliveredRejected int64
+	Dropped             int64
+	// PendingPeak is the largest redelivery backlog observed while no
+	// node was routable.
+	PendingPeak int
+	// FailoverMean and FailoverMax summarize the time from a lease's
+	// void (the crash) to its redelivered completion.
+	FailoverMean time.Duration
+	FailoverMax  time.Duration
+	// TimeToDrain records every completed drain: the time from the
+	// drain order until the node had nothing outstanding.
+	TimeToDrain []DrainRecord
+	// ScaleUps and ScaleDowns count the fleet autoscaler's actions;
+	// FinalStates is each node's lifecycle state at stream end.
+	ScaleUps    int
+	ScaleDowns  int
+	FinalStates []core.NodeState
+}
+
+// DrainRecord is one completed drain: the node and how long it took to
+// finish its in-flight work after routing stopped.
+type DrainRecord struct {
+	Node string
+	Took time.Duration
 }
 
 // report assembles the fleet aggregate after a completed stream.
@@ -112,6 +156,29 @@ func (c *Cluster) report(stream string, perNode []*core.Report) *Report {
 		r.SSDLoads += rep.SSDLoads
 		r.HostHits += rep.HostHits
 		r.Evictions += rep.Evictions
+		r.Dropped += rep.Dropped
+	}
+	r.ScaleUps, r.ScaleDowns = c.scaleUps, c.scaleDowns
+	if len(c.drainRecords) > 0 {
+		r.TimeToDrain = append([]DrainRecord(nil), c.drainRecords...)
+	}
+	if cs := c.chaos; cs != nil {
+		r.Faults = cs.crashes + cs.drains + cs.recoveries
+		r.Crashes, r.Drains, r.Recoveries = cs.crashes, cs.drains, cs.recoveries
+		r.LostLeases = cs.lostLeases
+		r.Redelivered = cs.redelivered
+		r.RedeliveredRejected = cs.redeliveredRejected
+		r.PendingPeak = cs.pendingPeak
+		if cs.failoverN > 0 {
+			r.FailoverMean = cs.failoverSum / time.Duration(cs.failoverN)
+			r.FailoverMax = cs.failoverMax
+		}
+	}
+	if c.chaos != nil || c.cfg.Autoscaler != nil {
+		r.FinalStates = make([]core.NodeState, len(c.nodes))
+		for i, n := range c.nodes {
+			r.FinalStates[i] = n.sys.State()
+		}
 	}
 	var total, max int64
 	for _, n := range r.Routed {

@@ -33,9 +33,10 @@ type controller struct {
 	admitted   int64
 	rejected   int64
 	completed  int64
-	peakQueued int  // largest backlog observed at a dispatch instant
-	closed     bool // the source is exhausted
-	finished   bool // every admitted request has completed
+	dropped    int64 // admitted requests voided by node crashes
+	peakQueued int   // largest backlog observed at a dispatch instant
+	closed     bool  // the source is exhausted
+	finished   bool  // every admitted request has completed or dropped
 
 	// tenantOf maps in-flight request IDs to their tenant for
 	// multi-tenant sources; entries are deleted as requests complete so
@@ -94,7 +95,7 @@ func (c *controller) admit(p *sim.Proc) {
 		c.offer(p, tr)
 	}
 	c.closed = true
-	if c.completed == c.admitted {
+	if c.completed+c.dropped == c.admitted {
 		c.finish()
 	}
 }
@@ -184,7 +185,29 @@ func (c *controller) onBatch(p *sim.Proc, r *coe.Request) {
 	// event holds copies, the tenant entry is gone, and the delegate has
 	// observed it. An arena-leased request is now safe to reuse.
 	coe.Recycle(r)
-	if c.closed && c.completed == c.admitted {
+	if c.closed && c.completed+c.dropped == c.admitted {
+		c.finish()
+	}
+}
+
+// drop strikes a crash-voided request from the stream's accounting: it
+// was admitted but will never complete here — its lease holder
+// redelivers it to another node. The request is recycled (the voiding
+// dispatcher copied what it needs before the crash was applied) and the
+// stream can still finish exactly: completed + dropped == admitted.
+func (c *controller) drop(p *sim.Proc, r *coe.Request) {
+	s := c.sys
+	c.dropped++
+	if _, ok := c.tenantOf[r.ID]; ok {
+		delete(c.tenantOf, r.ID)
+	}
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Add(trace.Event{
+			At: p.Now().Duration(), Kind: trace.KindDropped, Request: r.ID,
+		})
+	}
+	coe.Recycle(r)
+	if c.closed && c.completed+c.dropped == c.admitted {
 		c.finish()
 	}
 }

@@ -64,6 +64,13 @@ type System struct {
 	serving bool
 	broken  error
 
+	// state is the node's lifecycle state on the cluster seam; epoch
+	// advances on every crash so executors mid-batch at the crash
+	// instant can tell their results are void (see executor.Epoch).
+	// Standalone systems stay NodeUp at epoch 0 forever.
+	state NodeState
+	epoch int
+
 	// ownsEnv records whether this System created (and therefore drives)
 	// its simulation environment. A joined system (NewSystemInEnv) shares
 	// an external env — the cluster layer's arrangement — and is served
@@ -236,6 +243,8 @@ func newSystem(cfg Config, m *coe.Model, env *sim.Env, ownsEnv bool) (*System, e
 			Perf:    perfFor,
 			Done:    s.streamDone,
 			OnBatch: s.onBatch,
+			Epoch:   s.crashEpoch,
+			OnVoid:  s.onVoid,
 		}
 		s.queues = append(s.queues, q)
 		s.executors = append(s.executors, ex)
@@ -490,14 +499,26 @@ func (s *System) dispatch(r *coe.Request) {
 }
 
 // streamDone reports whether the current stream has fully completed —
-// the executors' exit condition.
+// the executors' exit condition. A crashed node's executors also stand
+// down: its queues were purged and its in-flight work voided.
 func (s *System) streamDone() bool {
-	return s.ctrl != nil && s.ctrl.finished
+	return s.state == NodeDown || (s.ctrl != nil && s.ctrl.finished)
 }
+
+// crashEpoch is the executors' Epoch hook: it advances on every Crash,
+// letting an executor mid-batch at the crash instant discard the
+// batch's results instead of acking voided work.
+func (s *System) crashEpoch() int { return s.epoch }
 
 // onBatch forwards stage completions to the active stream's controller.
 func (s *System) onBatch(p *sim.Proc, r *coe.Request) {
 	s.ctrl.onBatch(p, r)
+}
+
+// onVoid forwards crash-voided batch requests to the controller's drop
+// path: accounted, recycled, never acked.
+func (s *System) onVoid(p *sim.Proc, r *coe.Request) {
+	s.ctrl.drop(p, r)
 }
 
 // Serve runs one request stream to completion and returns its report.
@@ -589,6 +610,9 @@ func (s *System) resetStream() {
 // arrival process — the controller's own admit loop for Serve, the
 // cluster's router loop for joined systems — and runs the env.
 func (s *System) beginStream(src workload.Source, d StreamDelegate) {
+	// A node left Down or Draining by a previous stream's faults starts
+	// the next stream healthy — the operator reset between streams.
+	s.state = NodeUp
 	s.ctrl = newController(s, src)
 	s.ctrl.delegate = d
 	if s.cfg.Admission != nil {
@@ -649,12 +673,22 @@ func (namedStream) Next() (workload.TimedRequest, bool) { return workload.TimedR
 
 // Offer feeds one externally routed arrival into the node's admission
 // and dispatch path at the current virtual time, exactly as the node's
-// own arrival process would, and reports whether the request was
-// admitted. A rejected request leaves only a rejection mark. Offer must
+// own arrival process would. On admission it returns a lease receipt —
+// the node now holds the request and will ack its completion through
+// the stream delegate's RequestDone, unless a crash voids the lease
+// first — with ok true. A rejected request leaves only a rejection
+// mark; a node that is not Up refuses the offer outright, leaving no
+// mark at all (the dispatcher should not have routed here). Offer must
 // only be called between JoinStream and CloseStream, from a process of
 // the shared env.
-func (s *System) Offer(p *sim.Proc, tr workload.TimedRequest) bool {
-	return s.ctrl.offer(p, tr)
+func (s *System) Offer(p *sim.Proc, tr workload.TimedRequest) (Lease, bool) {
+	if s.state != NodeUp {
+		return Lease{}, false
+	}
+	if !s.ctrl.offer(p, tr) {
+		return Lease{}, false
+	}
+	return Lease{Request: tr.Req.ID, Node: s.cfg.ID, Issued: p.Now()}, true
 }
 
 // CloseStream marks a joined stream's arrival process exhausted: once
@@ -663,7 +697,7 @@ func (s *System) Offer(p *sim.Proc, tr workload.TimedRequest) bool {
 func (s *System) CloseStream() {
 	c := s.ctrl
 	c.closed = true
-	if c.completed == c.admitted {
+	if c.completed+c.dropped == c.admitted {
 		c.finish()
 	}
 }
@@ -678,7 +712,7 @@ func (s *System) StreamReport() (*Report, error) {
 	s.serving = false
 	if !s.ctrl.finished {
 		s.broken = fmt.Errorf("core: stream %q ended with %d of %d requests incomplete on %s",
-			s.ctrl.stream, s.ctrl.admitted-s.ctrl.completed, s.ctrl.admitted, s.cfg.ID)
+			s.ctrl.stream, s.ctrl.admitted-s.ctrl.completed-s.ctrl.dropped, s.ctrl.admitted, s.cfg.ID)
 		return nil, s.broken
 	}
 	return s.report(s.ctrl.stream), nil

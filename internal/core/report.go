@@ -61,7 +61,12 @@ type Report struct {
 	// not pay for the sampling unless the control plane is on).
 	PeakQueued  int
 	Completions int64
-	Makespan    time.Duration
+	// Dropped counts admitted requests a node crash voided before they
+	// completed: their leases were handed back to the dispatcher for
+	// redelivery elsewhere. Always 0 on fault-free streams, and
+	// N = Completions + Dropped once the stream drains.
+	Dropped  int64
+	Makespan time.Duration
 	// Throughput is completed images per second — the paper's primary
 	// metric (§5.1).
 	Throughput float64
@@ -130,6 +135,7 @@ func (s *System) report(stream string) *Report {
 		ActiveGPU:     s.activeGPU,
 		ActiveCPU:     s.activeCPU,
 		Completions:   s.recorder.Completions(),
+		Dropped:       s.ctrl.dropped,
 		Makespan:      s.recorder.Makespan(),
 		Throughput:    s.recorder.Throughput(),
 		Latency:       s.recorder.LatencySummary(),

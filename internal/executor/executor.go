@@ -44,6 +44,17 @@ type Executor struct {
 	OnBatch func(p *sim.Proc, r *coe.Request)
 	// Observer, when set, is invoked once per executed batch.
 	Observer func(e *coe.Expert, n int, lat time.Duration)
+	// Epoch, when set, reports the data plane's crash epoch. serveGroup
+	// snapshots it before taking a batch; if it changed across the
+	// execution sleep — the node crashed mid-batch — the batch's results
+	// are discarded and its requests handed to OnVoid instead of
+	// OnBatch, so a since-restarted node never acks work the crash
+	// voided. Nil on fault-free systems (the zero-cost default).
+	Epoch func() int
+	// OnVoid receives the requests of a batch voided by a mid-execution
+	// crash, once per request, in queue order. Required when Epoch is
+	// set.
+	OnVoid func(p *sim.Proc, r *coe.Request)
 
 	processed int64
 	batches   int64
@@ -75,11 +86,21 @@ func (ex *Executor) ResetStats() {
 
 // Run is the executor process body. Start it with env.Go(ex.Name, ex.Run).
 func (ex *Executor) Run(p *sim.Proc) {
-	if ex.OnBatch == nil || ex.Done == nil {
+	if ex.OnBatch == nil || ex.Done == nil || (ex.Epoch != nil && ex.OnVoid == nil) {
 		panic(fmt.Sprintf("executor %s: incomplete wiring", ex.Name))
+	}
+	epoch := 0
+	if ex.Epoch != nil {
+		epoch = ex.Epoch()
 	}
 	gate := ex.Queue.Gate()
 	for {
+		if ex.Epoch != nil && ex.Epoch() != epoch {
+			// This process belongs to a crashed epoch: the node restarted
+			// and launched replacements. Exit so the executor is never
+			// served by two processes at once.
+			return
+		}
 		g := ex.Queue.Head()
 		if g == nil {
 			if ex.Done() {
@@ -104,6 +125,10 @@ func (ex *Executor) serveGroup(p *sim.Proc, g *sched.Group) {
 	// arrivals slot in behind it as fresh groups; see sched). We drain
 	// only this group; the loop in Run picks up successors.
 	for ex.Queue.Head() == g && g.Len() > 0 {
+		epoch := 0
+		if ex.Epoch != nil {
+			epoch = ex.Epoch()
+		}
 		bound := sched.SplitBound(perf.MaxBatch, ex.Acts.Free(), perf.ActPerImage)
 		batch := ex.Queue.TakeFromHead(bound)
 		if len(batch) == 0 {
@@ -118,6 +143,19 @@ func (ex *Executor) serveGroup(p *sim.Proc, g *sched.Group) {
 		p.Sleep(lat)
 		ex.Compute.Release(p)
 		ex.Acts.Release(actBytes)
+
+		if ex.Epoch != nil && ex.Epoch() != epoch {
+			// The node crashed while this batch was in flight (waiting for
+			// memory, compute, or mid-execution). Its results are void: the
+			// crash already purged the queue and the dispatcher is
+			// redelivering the node's leases, so handing these to OnBatch
+			// would double-serve them. Resources were released above; the
+			// batch just produces nothing.
+			for _, r := range batch {
+				ex.OnVoid(p, r)
+			}
+			return
+		}
 
 		ex.busy += lat
 		ex.batches++

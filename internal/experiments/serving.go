@@ -29,6 +29,7 @@ func serveRegistry() []Experiment {
 		{"serve-overload", "serving", "admission policies (accept-all, bounded queue, token bucket, SLO shed) vs offered load past the knee", ServeOverload},
 		{"serve-cluster", "cluster", "multi-node serving: node count × router × placement, fleet aggregates", ServeCluster},
 		{"serve-fleet", "cluster", "100-node fleet under steady load: exact vs sketch percentile accounting", ServeFleet},
+		{"serve-chaos", "cluster", "rolling crash/drain/recover over a 4-node fleet: lease redelivery, time-to-drain, attainment dip and recovery", ServeChaos},
 	}
 }
 

@@ -341,6 +341,35 @@ func (q *Queue) TakeFromHead(n int) []*coe.Request {
 	return batch
 }
 
+// Purge removes every queued request — the started head group's
+// undrained tail included — and returns them in queue order: the crash
+// path, which voids a dead node's backlog so the dispatcher can
+// redeliver it elsewhere. The purged Group objects are dropped on the
+// floor rather than recycled: an executor may still hold the head
+// group's pointer and a batch slice aliasing its item array mid-
+// execution, so wiping them here would corrupt an in-flight batch (the
+// leak is bounded by the crash count, and crashes are rare). The free
+// list and the retired slot are untouched — their groups were wiped
+// under the normal one-drain-late protocol and stay safe to reuse.
+func (q *Queue) Purge() []*coe.Request {
+	if len(q.groups) == 0 {
+		return nil
+	}
+	out := make([]*coe.Request, 0, q.items)
+	for i, g := range q.groups {
+		out = append(out, g.items[g.off:]...)
+		q.groups[i] = nil
+	}
+	q.groups = q.groups[:0]
+	q.items = 0
+	q.pending = 0
+	for _, ix := range q.index {
+		ix.groups = 0
+		ix.open = nil
+	}
+	return out
+}
+
 // SplitBound computes the current maximum executable batch size (§4.2
 // "request splitting"): the smaller of the profiled maximum batch size
 // and the largest batch the free activation memory accommodates, never

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FaultKind is one node-lifecycle transition a fault plan can inject.
+type FaultKind int
+
+const (
+	// FaultCrash kills a node abruptly: queued and in-flight work on it
+	// is voided and must be redelivered by whoever dispatched it.
+	FaultCrash FaultKind = iota
+	// FaultDrain takes a node out of routing gracefully: it accepts no
+	// new work but finishes what it already holds.
+	FaultDrain
+	// FaultRecover returns a crashed node to service or cancels a drain.
+	FaultRecover
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultDrain:
+		return "drain"
+	case FaultRecover:
+		return "recover"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultEvent is one scheduled lifecycle transition: at offset At from the
+// stream start, node Node undergoes Kind.
+type FaultEvent struct {
+	At   time.Duration
+	Node int
+	Kind FaultKind
+}
+
+// FaultPlan is a deterministic schedule of node lifecycle transitions.
+// The env owner (the cluster layer) fires the events from a process of
+// the shared env, so a given plan produces byte-identical runs. A nil or
+// empty plan means no faults — the zero-fault configuration.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *FaultPlan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// sortEvents orders the plan by time, breaking ties by declaration order
+// (stable), so equal-instant events fire deterministically.
+func (p *FaultPlan) sortEvents() {
+	sort.SliceStable(p.Events, func(i, j int) bool {
+		return p.Events[i].At < p.Events[j].At
+	})
+}
+
+// Validate sorts the plan by event time (stable, so equal-instant events
+// keep declaration order) and checks it against a fleet of nodes: every
+// event must name a node in [0, nodes), carry a non-negative offset, and
+// follow the per-node lifecycle state machine — starting Up, a node may
+// crash (Up or Draining → Down), drain (Up → Draining), or recover
+// (Down or Draining → Up).
+func (p *FaultPlan) Validate(nodes int) error {
+	if p.Empty() {
+		return nil
+	}
+	p.sortEvents()
+	const (
+		up = iota
+		draining
+		down
+	)
+	state := make([]int, nodes)
+	for i, ev := range p.Events {
+		if ev.Node < 0 || ev.Node >= nodes {
+			return fmt.Errorf("sim: fault plan event %d names node %d outside fleet of %d", i, ev.Node, nodes)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("sim: fault plan event %d (%s node %d) at negative offset %v", i, ev.Kind, ev.Node, ev.At)
+		}
+		s := state[ev.Node]
+		switch ev.Kind {
+		case FaultCrash:
+			if s == down {
+				return fmt.Errorf("sim: fault plan event %d crashes node %d which is already down", i, ev.Node)
+			}
+			state[ev.Node] = down
+		case FaultDrain:
+			if s != up {
+				return fmt.Errorf("sim: fault plan event %d drains node %d which is not up", i, ev.Node)
+			}
+			state[ev.Node] = draining
+		case FaultRecover:
+			if s == up {
+				return fmt.Errorf("sim: fault plan event %d recovers node %d which is already up", i, ev.Node)
+			}
+			state[ev.Node] = up
+		default:
+			return fmt.Errorf("sim: fault plan event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// GenerateFaultPlan builds an MTBF-style schedule: each node alternates
+// exponentially distributed up intervals (mean mtbf) and down intervals
+// (mean mttr), crashing and recovering, until its next crash would fall
+// past the horizon. A crash inside the horizon always gets its matching
+// recover event — possibly past the horizon — so generated plans never
+// strand voided work with the whole fleet down forever. The schedule is
+// a pure function of its arguments (seeded math/rand), so a given
+// configuration yields a byte-identical run.
+func GenerateFaultPlan(nodes int, mtbf, mttr, horizon time.Duration, seed int64) (*FaultPlan, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("sim: GenerateFaultPlan needs at least one node, got %d", nodes)
+	}
+	if mtbf <= 0 || mttr <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("sim: GenerateFaultPlan needs positive mtbf, mttr, and horizon (got %v, %v, %v)", mtbf, mttr, horizon)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &FaultPlan{}
+	for node := 0; node < nodes; node++ {
+		t := time.Duration(0)
+		for {
+			t += time.Duration(rng.ExpFloat64() * float64(mtbf))
+			if t >= horizon {
+				break
+			}
+			p.Events = append(p.Events, FaultEvent{At: t, Node: node, Kind: FaultCrash})
+			t += time.Duration(rng.ExpFloat64() * float64(mttr))
+			p.Events = append(p.Events, FaultEvent{At: t, Node: node, Kind: FaultRecover})
+			if t >= horizon {
+				break
+			}
+		}
+	}
+	p.sortEvents()
+	return p, nil
+}
+
+// Run walks the plan from the current virtual time, sleeping to each
+// event's offset (relative to the process's time at entry) and handing
+// it to fire. It is the body of the env owner's fault-injection process;
+// equal-offset events fire back to back at the same instant, in plan
+// order.
+func (p *FaultPlan) Run(proc *Proc, fire func(FaultEvent)) {
+	if p.Empty() {
+		return
+	}
+	start := proc.Now()
+	for _, ev := range p.Events {
+		due := start.Add(ev.At)
+		if wait := due.Sub(proc.Now()); wait > 0 {
+			proc.Sleep(wait)
+		}
+		fire(ev)
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultPlanValidateSortsAndChecksTransitions(t *testing.T) {
+	// Out-of-declaration-order events sort by offset; the sorted plan is
+	// a legal lifecycle for both nodes.
+	p := &FaultPlan{Events: []FaultEvent{
+		{At: 3 * time.Second, Node: 0, Kind: FaultRecover},
+		{At: 1 * time.Second, Node: 0, Kind: FaultCrash},
+		{At: 2 * time.Second, Node: 1, Kind: FaultDrain},
+		{At: 4 * time.Second, Node: 1, Kind: FaultRecover},
+	}}
+	if err := p.Validate(2); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i].At < p.Events[i-1].At {
+			t.Fatalf("plan not sorted after Validate: %v", p.Events)
+		}
+	}
+
+	bad := []struct {
+		name string
+		plan FaultPlan
+		want string
+	}{
+		{"node out of range", FaultPlan{Events: []FaultEvent{{At: 1, Node: 2, Kind: FaultCrash}}}, "outside fleet"},
+		{"negative offset", FaultPlan{Events: []FaultEvent{{At: -1, Node: 0, Kind: FaultCrash}}}, "negative offset"},
+		{"double crash", FaultPlan{Events: []FaultEvent{
+			{At: 1, Node: 0, Kind: FaultCrash}, {At: 2, Node: 0, Kind: FaultCrash}}}, "already down"},
+		{"drain while down", FaultPlan{Events: []FaultEvent{
+			{At: 1, Node: 0, Kind: FaultCrash}, {At: 2, Node: 0, Kind: FaultDrain}}}, "not up"},
+		{"recover while up", FaultPlan{Events: []FaultEvent{{At: 1, Node: 0, Kind: FaultRecover}}}, "already up"},
+		{"unknown kind", FaultPlan{Events: []FaultEvent{{At: 1, Node: 0, Kind: FaultKind(9)}}}, "unknown kind"},
+	}
+	for _, tc := range bad {
+		err := tc.plan.Validate(2)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	var nilPlan *FaultPlan
+	if !nilPlan.Empty() || nilPlan.Validate(4) != nil {
+		t.Error("nil plan must be empty and valid")
+	}
+}
+
+func TestGenerateFaultPlanDeterministicAndRecoversEveryCrash(t *testing.T) {
+	gen := func() *FaultPlan {
+		p, err := GenerateFaultPlan(4, 2*time.Second, 500*time.Millisecond, 10*time.Second, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := gen(), gen()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same arguments generated different plans")
+	}
+	if a.Empty() {
+		t.Fatal("10s horizon at 2s MTBF over 4 nodes generated no faults")
+	}
+	if err := a.Validate(4); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	// Every crash has its matching recover — no node is left down
+	// forever, so no generated schedule strands voided work.
+	crashes := make(map[int]int)
+	for _, ev := range a.Events {
+		switch ev.Kind {
+		case FaultCrash:
+			crashes[ev.Node]++
+		case FaultRecover:
+			crashes[ev.Node]--
+		default:
+			t.Fatalf("generated plan contains %v", ev.Kind)
+		}
+	}
+	for node, n := range crashes {
+		if n != 0 {
+			t.Errorf("node %d: %d crash(es) without a recover", node, n)
+		}
+	}
+
+	if _, err := GenerateFaultPlan(0, time.Second, time.Second, time.Second, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := GenerateFaultPlan(1, 0, time.Second, time.Second, 1); err == nil {
+		t.Error("zero mtbf accepted")
+	}
+}
+
+func TestFaultPlanRunFiresAtOffsetsInPlanOrder(t *testing.T) {
+	p := &FaultPlan{Events: []FaultEvent{
+		{At: 10 * time.Millisecond, Node: 0, Kind: FaultCrash},
+		{At: 30 * time.Millisecond, Node: 1, Kind: FaultDrain},
+		{At: 30 * time.Millisecond, Node: 0, Kind: FaultRecover}, // same instant, declaration order
+	}}
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	type firing struct {
+		at time.Duration
+		ev FaultEvent
+	}
+	var got []firing
+	env.Go("chaos", func(proc *Proc) {
+		p.Run(proc, func(ev FaultEvent) {
+			got = append(got, firing{proc.Now().Duration(), ev})
+		})
+	})
+	env.Run()
+	want := []firing{
+		{10 * time.Millisecond, p.Events[0]},
+		{30 * time.Millisecond, p.Events[1]},
+		{30 * time.Millisecond, p.Events[2]},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("firings = %v, want %v", got, want)
+	}
+
+	// An empty plan's Run returns immediately without touching the clock.
+	env2 := NewEnv()
+	env2.Go("noop", func(proc *Proc) { (&FaultPlan{}).Run(proc, func(FaultEvent) { t.Error("empty plan fired") }) })
+	if end := env2.Run(); end != 0 {
+		t.Errorf("empty plan advanced the clock to %v", end)
+	}
+}

@@ -29,6 +29,9 @@ const (
 	// KindRejected: admission control rejected an arriving request. The
 	// request never touches a queue; this is its only trace of existence.
 	KindRejected Kind = "rejected"
+	// KindDropped: a node crash voided an in-flight request; its lease
+	// holder (the cluster front end) redelivers it elsewhere.
+	KindDropped Kind = "dropped"
 	// KindStream: a new stream began serving (warm restarts append
 	// consecutive streams to one log; request IDs restart per stream,
 	// so consumers must pair arrivals to completions within stream
