@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check ci bench race chaos-determinism bench-experiments bench-cluster bench-fleet cover
+.PHONY: all build test vet fmt-check detlint ci bench race chaos-determinism grayfail-determinism bench-experiments bench-cluster bench-fleet bench-chaos cover
 
 all: build
 
@@ -19,8 +19,16 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the tier-1 gate: formatting, vet, build, tests.
-ci: fmt-check vet build test
+# detlint is the determinism lint: it fails on wall-clock reads
+# (time.Now/time.Since), global math/rand use, and map-iteration
+# ordering hazards in internal/ — the constructs that silently break
+# byte-reproducible output. Exemptions are //detlint:allow annotations
+# with a written reason.
+detlint:
+	$(GO) run ./cmd/detlint
+
+# ci is the tier-1 gate: formatting, vet, determinism lint, build, tests.
+ci: fmt-check vet detlint build test
 
 # cover runs the whole suite with coverage and prints the per-function
 # summary plus the total; cover.out is left behind for `go tool cover
@@ -32,9 +40,10 @@ cover:
 
 # race runs the whole test suite under the race detector: the parallel
 # run engine (internal/runner, the experiments fan-out) must stay clean
-# here. The chaos determinism check rides along, with its -race leg
-# exercising the crash/redeliver path under the detector.
-race: chaos-determinism
+# here. The chaos and grayfail determinism checks ride along, with their
+# -race legs exercising the crash/redeliver and breaker/hedge paths
+# under the detector.
+race: chaos-determinism grayfail-determinism
 	$(GO) test -race ./...
 
 # chaos-determinism pins the fault-injection guarantee: the serve-chaos
@@ -53,14 +62,29 @@ chaos-determinism:
 	cmp "$$tmp/a" "$$tmp/c" || { echo "chaos-determinism: serve-chaos differs under -race"; exit 1; }; \
 	echo "chaos-determinism: OK — serve-chaos byte-identical across runs and under -race"
 
+# grayfail-determinism pins the same guarantee for the gray-failure
+# stack: serve-grayfail (fail-slow/jitter/stall injection, health-scored
+# breaker, hedged redelivery — timer cancellation and all) renders
+# byte-identically across plain runs AND under the race detector.
+grayfail-determinism:
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/coserve experiment serve-grayfail | sed '/experiment(s) regenerated in/d' > "$$tmp/a" || exit 1; \
+	$(GO) run ./cmd/coserve experiment serve-grayfail | sed '/experiment(s) regenerated in/d' > "$$tmp/b" || exit 1; \
+	$(GO) run -race ./cmd/coserve experiment serve-grayfail | sed '/experiment(s) regenerated in/d' > "$$tmp/c" || exit 1; \
+	cmp "$$tmp/a" "$$tmp/b" || { echo "grayfail-determinism: two plain serve-grayfail runs differ"; exit 1; }; \
+	cmp "$$tmp/a" "$$tmp/c" || { echo "grayfail-determinism: serve-grayfail differs under -race"; exit 1; }; \
+	echo "grayfail-determinism: OK — serve-grayfail byte-identical across runs and under -race"
+
 # bench compiles and executes every benchmark exactly once (no test
 # functions), so the benchmark harness cannot rot, and pipes the output
-# through benchguard, which fails loudly if BenchmarkFleetServe's
-# allocs/op or bytes/op regress past the BENCH_fleet.json baseline.
+# through benchguard, which fails loudly if BenchmarkFleetServe or
+# BenchmarkChaosServe regress past their recorded baselines
+# (BENCH_fleet.json, BENCH_chaos.json) in allocs/op or bytes/op.
 # Compare against the recorded baseline in BENCH_kernel.json before
 # merging kernel or scheduler changes.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./... | $(GO) run ./cmd/benchguard -baseline BENCH_fleet.json
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... | $(GO) run ./cmd/benchguard -baseline BENCH_fleet.json -baseline BENCH_chaos.json
 
 # bench-experiments reproduces the BENCH_experiments.json measurement:
 # the full experiment registry, sequential vs all cores.
@@ -82,3 +106,11 @@ bench-cluster:
 # BENCH_fleet.json.
 bench-fleet:
 	$(GO) test -bench BenchmarkFleetServe -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_fleet.json
+
+# bench-chaos reproduces (and gates) the BENCH_chaos.json measurement:
+# the fault-injected serving path — fail-stop crash/redeliver and the
+# gray-failure mitigation stack (health, breaker, hedging). `make
+# bench` (and the CI bench job) already executes these once; this
+# target is the recorded baseline's regeneration recipe.
+bench-chaos:
+	$(GO) test -bench BenchmarkChaosServe -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_chaos.json

@@ -505,6 +505,95 @@ func BenchmarkFleetServe(b *testing.B) {
 	}
 }
 
+// BenchmarkChaosServe measures the fault-injected serving path: a
+// 4-node cluster per iteration serving a Poisson stream with the fault
+// plan, lease ledger, and (in the gray case) health scoring, breaker,
+// and hedging all active. The failstop sub-benchmark prices the
+// crash/redeliver machinery; the gray one prices the full mitigation
+// stack against a fail-slow straggler. Absolute allocs/op and bytes/op
+// are the regression gate pinned in BENCH_chaos.json (`make
+// bench-chaos` regenerates and checks it) — the chaos layer must stay
+// cheap enough that arming it is never a serving-path tax.
+func BenchmarkChaosServe(b *testing.B) {
+	dev := hw.NUMADevice()
+	board, err := workload.BoardA().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perf, err := coserve.Profile(dev, coserve.EvalArchitectures())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, c := core.DefaultExecutors(dev)
+	node := core.Config{
+		Device: dev, Variant: core.CoServe,
+		GPUExecutors: g, CPUExecutors: c,
+		Alloc: core.CasualAllocation(dev, perf, g, c), Perf: perf,
+		SLO: 3 * time.Second,
+	}
+	cases := []struct {
+		name   string
+		plan   *coserve.FaultPlan
+		health coserve.HealthConfig
+		hedge  coserve.HedgeConfig
+	}{
+		{
+			name: "faults=failstop",
+			plan: &coserve.FaultPlan{Events: []coserve.FaultEvent{
+				{At: 2 * time.Second, Node: 1, Kind: coserve.FaultCrash},
+				{At: 4 * time.Second, Node: 1, Kind: coserve.FaultRecover},
+				{At: 6 * time.Second, Node: 2, Kind: coserve.FaultDrain},
+				{At: 9 * time.Second, Node: 2, Kind: coserve.FaultRecover},
+			}},
+		},
+		{
+			name: "faults=gray",
+			plan: &coserve.FaultPlan{Events: []coserve.FaultEvent{
+				{At: 2 * time.Second, Node: 1, Kind: coserve.FaultSlow, Factor: 150},
+				{At: 20 * time.Second, Node: 1, Kind: coserve.FaultRecover},
+			}},
+			health: coserve.HealthConfig{Window: 500 * time.Millisecond, Breaker: true, Cooldown: 8, Probes: 3},
+			hedge:  coserve.HedgeConfig{After: time.Second},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cl, err := coserve.NewCluster(coserve.ClusterConfig{
+					Nodes:     coserve.UniformNodes(4, node),
+					Router:    cluster.Affinity{},
+					Placement: cluster.Partition{},
+					SLO:       node.SLO,
+					Faults:    tc.plan,
+					Health:    tc.health,
+					Hedge:     tc.hedge,
+				}, board.Model)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src, err := workload.Poisson{
+					Name: "bench-chaos", Board: board, Rate: 8, N: 240, Seed: 20260730,
+				}.NewSource()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := cl.Serve(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Exactly-once at the end of every iteration: arrivals either
+				// completed once or were terminally rejected on redelivery.
+				if rep.Completions+rep.RedeliveredRejected != rep.N {
+					b.Fatalf("%d completions + %d terminal rejections != %d arrivals",
+						rep.Completions, rep.RedeliveredRejected, rep.N)
+				}
+			}
+		})
+	}
+}
+
 // TestBenchSanity keeps the bench harness honest under plain `go test`:
 // the headline figure regenerates and contains every expected system.
 func TestBenchSanity(t *testing.T) {

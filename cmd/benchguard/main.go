@@ -10,6 +10,11 @@
 //	go test -bench BenchmarkFleetServe -benchtime 1x -run '^$' . |
 //	    go run ./cmd/benchguard -baseline BENCH_fleet.json
 //
+// -baseline repeats: one bench run can be gated against several
+// baseline files at once (each benchmark judged under its own file's
+// regression factors), which is how `make bench` guards the fleet and
+// chaos baselines in a single pass.
+//
 // The guard fails (exit 1) when a baselined benchmark regresses past
 // its factor, is missing from the input, or when the input carries a
 // test failure marker — so a broken bench run cannot pass silently.
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -48,29 +54,60 @@ type baseline struct {
 // appends to benchmark names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
+// guardedBench is one baselined benchmark with its thresholds resolved:
+// the recorded measurement plus the owning file's regression factors.
+type guardedBench struct {
+	file         string
+	nsPerOp      float64
+	bytesPerOp   float64
+	allocsPerOp  float64
+	allocsFactor float64
+	bytesFactor  float64
+}
+
 func main() {
-	baselinePath := flag.String("baseline", "", "baseline JSON file (required)")
+	var baselinePaths []string
+	flag.Func("baseline", "baseline JSON file (required; repeatable)", func(p string) error {
+		baselinePaths = append(baselinePaths, p)
+		return nil
+	})
 	flag.Parse()
-	if *baselinePath == "" {
+	if len(baselinePaths) == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
 		os.Exit(2)
 	}
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(2)
-	}
-	var base baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *baselinePath, err)
-		os.Exit(2)
-	}
-	allocsFactor, bytesFactor := base.Guard.AllocsFactor, base.Guard.BytesFactor
-	if allocsFactor == 0 {
-		allocsFactor = 1.25
-	}
-	if bytesFactor == 0 {
-		bytesFactor = 1.5
+	// Fold the baseline files into one guarded set; a benchmark named by
+	// two files is a configuration error, not a silent last-wins.
+	guarded := map[string]guardedBench{}
+	for _, path := range baselinePaths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		var base baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		allocsFactor, bytesFactor := base.Guard.AllocsFactor, base.Guard.BytesFactor
+		if allocsFactor == 0 {
+			allocsFactor = 1.25
+		}
+		if bytesFactor == 0 {
+			bytesFactor = 1.5
+		}
+		for name, rec := range base.Results {
+			if prev, dup := guarded[name]; dup {
+				fmt.Fprintf(os.Stderr, "benchguard: %s baselined by both %s and %s\n", name, prev.file, path)
+				os.Exit(2)
+			}
+			guarded[name] = guardedBench{
+				file:    path,
+				nsPerOp: rec.NsPerOp, bytesPerOp: rec.BytesPerOp, allocsPerOp: rec.AllocsPerOp,
+				allocsFactor: allocsFactor, bytesFactor: bytesFactor,
+			}
+		}
 	}
 
 	var failures []string
@@ -88,47 +125,48 @@ func main() {
 		if !ok {
 			continue
 		}
-		rec, guarded := base.Results[name]
-		if !guarded {
+		rec, ok := guarded[name]
+		if !ok {
 			continue
 		}
 		seen[name] = true
-		if limit := rec.AllocsPerOp * allocsFactor; metrics["allocs/op"] > limit {
+		if limit := rec.allocsPerOp * rec.allocsFactor; metrics["allocs/op"] > limit {
 			failures = append(failures, fmt.Sprintf(
 				"%s: %.0f allocs/op vs baseline %.0f — %s observed > ×%.2f allowed (limit %.0f)",
-				name, metrics["allocs/op"], rec.AllocsPerOp,
-				ratio(metrics["allocs/op"], rec.AllocsPerOp), allocsFactor, limit))
+				name, metrics["allocs/op"], rec.allocsPerOp,
+				ratio(metrics["allocs/op"], rec.allocsPerOp), rec.allocsFactor, limit))
 		}
-		if limit := rec.BytesPerOp * bytesFactor; metrics["B/op"] > limit {
+		if limit := rec.bytesPerOp * rec.bytesFactor; metrics["B/op"] > limit {
 			failures = append(failures, fmt.Sprintf(
 				"%s: %.0f B/op vs baseline %.0f — %s observed > ×%.2f allowed (limit %.0f)",
-				name, metrics["B/op"], rec.BytesPerOp,
-				ratio(metrics["B/op"], rec.BytesPerOp), bytesFactor, limit))
+				name, metrics["B/op"], rec.bytesPerOp,
+				ratio(metrics["B/op"], rec.bytesPerOp), rec.bytesFactor, limit))
 		}
-		if rec.NsPerOp > 0 {
+		if rec.nsPerOp > 0 {
 			fmt.Printf("benchguard: %s wall time %.2fx of baseline (informational)\n",
-				name, metrics["ns/op"]/rec.NsPerOp)
+				name, metrics["ns/op"]/rec.nsPerOp)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
 		os.Exit(2)
 	}
-	for name := range base.Results {
+	for name, rec := range guarded {
 		if !seen[name] {
-			failures = append(failures, fmt.Sprintf("baselined benchmark %s missing from input", name))
+			failures = append(failures, fmt.Sprintf("baselined benchmark %s (%s) missing from input", name, rec.file))
 		}
 	}
 	// Every regression is reported in one run — the full repair list, not
 	// just the first offender.
 	if len(failures) > 0 {
+		sort.Strings(failures)
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "benchguard: FAIL: %s\n", f)
 		}
-		fmt.Fprintf(os.Stderr, "benchguard: %d failure(s) against %s\n", len(failures), *baselinePath)
+		fmt.Fprintf(os.Stderr, "benchguard: %d failure(s) against %s\n", len(failures), strings.Join(baselinePaths, ", "))
 		os.Exit(1)
 	}
-	fmt.Printf("benchguard: OK — %d benchmark(s) within baseline (%s)\n", len(seen), *baselinePath)
+	fmt.Printf("benchguard: OK — %d benchmark(s) within baseline (%s)\n", len(seen), strings.Join(baselinePaths, ", "))
 }
 
 // ratio renders observed/baseline as a "×1.53"-style factor for failure

@@ -21,6 +21,10 @@
 //	coserve serve -nodes 4 -chaos "crash@2s:1,recover@3.5s:1,drain@6s:2"
 //	                                     # chaos: crash/drain/recover nodes,
 //	                                     # leases redeliver, nothing is lost
+//	coserve serve -nodes 4 -chaos "slow@2s:1x40" -health-window 500ms -breaker -hedge-after 1s
+//	                                     # gray failure: node 1 fails slow,
+//	                                     # breaker quarantines it, hedges
+//	                                     # rescue the trapped requests
 //	coserve serve -nodes 4 -chaos-mtbf 5s -chaos-mttr 1s -window 1s -fleet-autoscale 12
 //	                                     # generated MTBF faults + fleet scaling
 //	coserve serve -nodes 4 -percentiles sketch -arrival steady -rate 40 -horizon 30s
@@ -109,12 +113,18 @@ commands:
                -placement P serves the stream across an N-node cluster
                (-nodes 1 is the plain single-node system; router and
                placement apply from 2 nodes up), -chaos / -chaos-mtbf
-               inject node crash/drain/recover faults into the cluster
-               (crashed nodes' requests redeliver under lease tracking,
-               completions stay exactly-once), -cluster-admit puts an
-               admission policy in front of the router, and
-               -fleet-autoscale R drains/resumes nodes to track the
-               offered rate at R req/s per node (needs -window)
+               inject node faults into the cluster — fail-stop
+               crash/drain/recover (crashed nodes' requests redeliver
+               under lease tracking, completions stay exactly-once) and
+               gray slow/jitter/stall kinds that degrade service while
+               the node stays Up — countered by -health-window
+               (latency-scored node health), -breaker (quarantine +
+               half-open probing), and -hedge-after (deadline-fired
+               hedged redelivery, first completion wins),
+               -cluster-admit puts an admission policy in front of the
+               router, and -fleet-autoscale R drains/resumes nodes to
+               track the offered rate at R req/s per node (needs
+               -window)
   profile      run the offline profiler and print the performance matrix`)
 }
 
@@ -316,10 +326,13 @@ func cmdServe(args []string) error {
 	nodes := fs.Int("nodes", 1, "cluster size: serve across this many nodes sharing one simulation (1 = single-node system)")
 	routerName := fs.String("router", "least-loaded", "cluster request router (with -nodes >= 2): least-loaded, affinity, predict")
 	placementName := fs.String("placement", "mirror", "cluster expert placement (with -nodes >= 2): mirror, partition, usage")
-	chaosSpec := fs.String("chaos", "", `scripted cluster fault schedule: comma-separated kind@offset:node events, e.g. "crash@2s:1,recover@3.5s:1,drain@6s:2" (needs -nodes >= 2)`)
+	chaosSpec := fs.String("chaos", "", `scripted cluster fault schedule: comma-separated kind@offset:node events, e.g. "crash@2s:1,recover@3.5s:1,drain@6s:2"; gray kinds take a parameter after the node — "slow@2s:1x4" (4× service time), "jitter@2s:1x8" (×[1,8] per batch), "stall@2s:1x1.5s" (frozen 1.5s) (needs -nodes >= 2)`)
 	chaosMTBF := fs.Duration("chaos-mtbf", 0, "generate an MTBF-style fault schedule: mean up time between crashes per node (needs -nodes >= 2; schedule horizon is -horizon)")
 	chaosMTTR := fs.Duration("chaos-mttr", time.Second, "mean down time before recovery for -chaos-mtbf")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for -chaos-mtbf schedule generation")
+	healthWindow := fs.Duration("health-window", 0, "score per-node health from windowed completion latency at this interval (0 = off; needs -nodes >= 2)")
+	breakerOn := fs.Bool("breaker", false, "arm the health circuit breaker: quarantine nodes scoring < 0.5, probe half-open, reinstate >= 0.8 (needs -health-window)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge requests still leased after this deadline to another node; first completion wins, losers count as wasted work (0 = off; needs -nodes >= 2)")
 	clusterAdmit := fs.String("cluster-admit", "", "cluster-level admission policy in front of the router: accept, bounded, token, shed (same knobs as -admit; empty = admit everything)")
 	fleetScale := fs.Float64("fleet-autoscale", 0, "drain/resume cluster nodes to track the offered rate at this many req/s per node (0 = off; needs -window and -nodes >= 2)")
 	record := fs.String("record", "", "record the served arrival stream to this trace file (first round)")
@@ -341,8 +354,12 @@ func cmdServe(args []string) error {
 	if *nodes < 1 {
 		return fmt.Errorf("nodes must be at least 1")
 	}
-	if (*chaosSpec != "" || *chaosMTBF > 0 || *clusterAdmit != "" || *fleetScale > 0) && *nodes < 2 {
-		return fmt.Errorf("-chaos, -chaos-mtbf, -cluster-admit, and -fleet-autoscale need a cluster (-nodes >= 2)")
+	if (*chaosSpec != "" || *chaosMTBF > 0 || *clusterAdmit != "" || *fleetScale > 0 ||
+		*healthWindow > 0 || *hedgeAfter > 0) && *nodes < 2 {
+		return fmt.Errorf("-chaos, -chaos-mtbf, -cluster-admit, -fleet-autoscale, -health-window, and -hedge-after need a cluster (-nodes >= 2)")
+	}
+	if *breakerOn && *healthWindow <= 0 {
+		return fmt.Errorf("-breaker needs -health-window (the scoring interval)")
 	}
 	if *chaosSpec != "" && *chaosMTBF > 0 {
 		return fmt.Errorf("-chaos and -chaos-mtbf are mutually exclusive: script the schedule or generate it, not both")
@@ -615,6 +632,8 @@ func cmdServe(args []string) error {
 			Nodes: nodeCfgs, Router: router, Placement: placement,
 			SLO: *slo, Window: *window, Percentiles: pmode,
 			Faults: plan, Admission: fleetAdmission, Autoscaler: fleetScaler,
+			Health: coserve.HealthConfig{Window: *healthWindow, Breaker: *breakerOn},
+			Hedge:  coserve.HedgeConfig{After: *hedgeAfter},
 		}, board.Model)
 		if err != nil {
 			return err
@@ -650,8 +669,12 @@ func cmdServe(args []string) error {
 
 // parseFaultPlan parses the -chaos schedule syntax: comma-separated
 // kind@offset:node events, e.g. "crash@2s:1,recover@3.5s:1,drain@6s:2".
-// The cluster validates the assembled plan (event ordering, node range,
-// and the per-node lifecycle state machine) when it is configured.
+// The gray kinds take a parameter after the node, separated by 'x':
+// "slow@2s:1x4" multiplies node 1's service time by 4 from 2s on,
+// "jitter@2s:1x8" inflates each batch by a seeded factor in [1, 8], and
+// "stall@2s:1x1.5s" freezes the node for 1.5s. The cluster validates
+// the assembled plan (event ordering, node range, and the per-node
+// lifecycle state machine) when it is configured.
 func parseFaultPlan(spec string) (*coserve.FaultPlan, error) {
 	plan := &coserve.FaultPlan{}
 	for _, tok := range strings.Split(spec, ",") {
@@ -671,8 +694,14 @@ func parseFaultPlan(spec string) (*coserve.FaultPlan, error) {
 			kind = coserve.FaultDrain
 		case "recover":
 			kind = coserve.FaultRecover
+		case "slow":
+			kind = coserve.FaultSlow
+		case "jitter":
+			kind = coserve.FaultJitter
+		case "stall":
+			kind = coserve.FaultStall
 		default:
-			return nil, fmt.Errorf("bad -chaos event %q: unknown kind %q (want crash, drain, recover)", tok, kindStr)
+			return nil, fmt.Errorf("bad -chaos event %q: unknown kind %q (want crash, drain, recover, slow, jitter, stall)", tok, kindStr)
 		}
 		offStr, nodeStr, ok := strings.Cut(rest, ":")
 		if !ok {
@@ -682,11 +711,34 @@ func parseFaultPlan(spec string) (*coserve.FaultPlan, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad -chaos event %q: %v", tok, err)
 		}
-		var node int
-		if _, err := fmt.Sscanf(nodeStr, "%d", &node); err != nil {
+		ev := coserve.FaultEvent{At: off, Kind: kind}
+		// Gray kinds carry a parameter after the node: nodexPARAM, where
+		// PARAM is a multiplier (slow, jitter) or a duration (stall).
+		nodeStr, param, hasParam := strings.Cut(nodeStr, "x")
+		switch kind {
+		case coserve.FaultSlow, coserve.FaultJitter:
+			if !hasParam {
+				return nil, fmt.Errorf("bad -chaos event %q: %s needs a factor, e.g. %s@2s:1x4", tok, kindStr, kindStr)
+			}
+			if _, err := fmt.Sscanf(param, "%g", &ev.Factor); err != nil {
+				return nil, fmt.Errorf("bad -chaos event %q: factor %q is not a number", tok, param)
+			}
+		case coserve.FaultStall:
+			if !hasParam {
+				return nil, fmt.Errorf("bad -chaos event %q: stall needs a duration, e.g. stall@2s:1x1.5s", tok)
+			}
+			if ev.For, err = time.ParseDuration(param); err != nil {
+				return nil, fmt.Errorf("bad -chaos event %q: %v", tok, err)
+			}
+		default:
+			if hasParam {
+				return nil, fmt.Errorf("bad -chaos event %q: %s takes no parameter", tok, kindStr)
+			}
+		}
+		if _, err := fmt.Sscanf(nodeStr, "%d", &ev.Node); err != nil {
 			return nil, fmt.Errorf("bad -chaos event %q: node %q is not an integer", tok, nodeStr)
 		}
-		plan.Events = append(plan.Events, coserve.FaultEvent{At: off, Node: node, Kind: kind})
+		plan.Events = append(plan.Events, ev)
 	}
 	if plan.Empty() {
 		return nil, fmt.Errorf("-chaos %q contains no events", spec)
@@ -720,6 +772,18 @@ func printClusterReport(r *coserve.ClusterReport) {
 			fmt.Fprintf(w, "failover\t%.3fs mean / %.3fs max (lease void to redelivered completion)\n",
 				r.FailoverMean.Seconds(), r.FailoverMax.Seconds())
 		}
+		if r.Slows+r.Jitters+r.Stalls > 0 {
+			fmt.Fprintf(w, "gray faults\t%d slow, %d jitter, %d stall (nodes stayed Up throughout)\n",
+				r.Slows, r.Jitters, r.Stalls)
+		}
+	}
+	if r.BreakerTrips > 0 || r.BreakerReinstates > 0 || r.ProbesSent > 0 || r.BreakerBypasses > 0 {
+		fmt.Fprintf(w, "breaker\t%d trips, %d reinstates, %d probes, %d bypasses\n",
+			r.BreakerTrips, r.BreakerReinstates, r.ProbesSent, r.BreakerBypasses)
+	}
+	if r.HedgesFired > 0 || r.HedgeRetries > 0 || r.HedgeRejected > 0 {
+		fmt.Fprintf(w, "hedges\t%d fired, %d wins, %d wasted, %d voided, %d promoted, %d rejected, %d retries\n",
+			r.HedgesFired, r.HedgeWins, r.HedgeWasted, r.HedgesVoided, r.HedgePromoted, r.HedgeRejected, r.HedgeRetries)
 	}
 	if r.ScaleUps > 0 || r.ScaleDowns > 0 {
 		fmt.Fprintf(w, "fleet scaling\t%d scale-downs, %d scale-ups\n", r.ScaleDowns, r.ScaleUps)

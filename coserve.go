@@ -321,16 +321,27 @@ func ClusterPlacementByName(name string) (ClusterPlacement, error) {
 	return cluster.PlacementByName(name)
 }
 
-// Chaos layer: scripted node crash/drain/recover schedules
-// (ClusterConfig.Faults) fired deterministically into a serving
-// cluster, with lease-tracked at-least-once redelivery of a crashed
-// node's outstanding requests and exactly-once completion accounting.
+// Chaos layer: scripted node fault schedules (ClusterConfig.Faults)
+// fired deterministically into a serving cluster. Fail-stop kinds
+// (crash/drain/recover) drive the node lifecycle, with lease-tracked
+// at-least-once redelivery of a crashed node's outstanding requests and
+// exactly-once completion accounting. Gray kinds (slow/jitter/stall)
+// degrade a node's service time while it stays Up — invisible to the
+// lifecycle layer, countered by HealthConfig (windowed health scores
+// plus a circuit breaker) and HedgeConfig (deadline-fired hedged
+// redelivery, first completion wins, losers accounted as wasted work).
 // A nil or empty FaultPlan injects nothing and leaves every serve path
 // byte-identical to the fault-free cluster.
 type (
 	FaultPlan  = sim.FaultPlan
 	FaultEvent = sim.FaultEvent
 	FaultKind  = sim.FaultKind
+	// HealthConfig enables per-node health scoring and the circuit
+	// breaker that quarantines gray-failing nodes (ClusterConfig.Health).
+	HealthConfig = cluster.HealthConfig
+	// HedgeConfig enables per-request deadlines with hedged redelivery
+	// (ClusterConfig.Hedge).
+	HedgeConfig = cluster.HedgeConfig
 	// NodeState is a node's lifecycle state (up, draining, down).
 	NodeState = core.NodeState
 	// NodeLease is the receipt a node returns when it accepts an offered
@@ -350,6 +361,9 @@ const (
 	FaultCrash   = sim.FaultCrash
 	FaultDrain   = sim.FaultDrain
 	FaultRecover = sim.FaultRecover
+	FaultSlow    = sim.FaultSlow
+	FaultJitter  = sim.FaultJitter
+	FaultStall   = sim.FaultStall
 
 	NodeUp       = core.NodeUp
 	NodeDraining = core.NodeDraining

@@ -46,10 +46,25 @@ type chaosState struct {
 	violations       []string
 
 	crashes, drains, recoveries int
+	slows, jitters, stalls      int   // gray fault events fired
 	lostLeases                  int64 // leases voided by crashes
 	redelivered                 int64 // successful re-admissions of voided leases
 	redeliveredRejected         int64 // voided leases a node's admission refused
 	dupAcks                     int64 // completions with no live lease (0 by design)
+
+	// Hedge accounting. A fired hedge puts a second copy of a leased
+	// request on another node; the first completion resolves the lease
+	// and the loser — tracked in orphans by holding node — surfaces as
+	// wasted work when it completes (or as a voided hedge when a crash
+	// takes it first), never as a second completion.
+	hedgesFired   int64 // hedge copies successfully admitted
+	hedgeWins     int64 // leases resolved by the hedge copy
+	hedgeWasted   int64 // loser copies that completed (work done twice)
+	hedgeRejected int64 // hedge copies node admission refused
+	hedgeRetries  int64 // deadline re-arms after a failed hedge attempt
+	hedgePromoted int64 // primaries lost to a crash, lease taken by the hedge
+	hedgesVoided  int64 // hedge copies destroyed by crashes before completing
+	orphans       map[int64]int
 
 	failoverSum time.Duration
 	failoverMax time.Duration
@@ -70,19 +85,28 @@ type lease struct {
 	arrival      sim.Time // first admission — the latency clock's origin
 	voidedAt     sim.Time
 	redeliveries int
+
+	// Hedging state: the node holding the speculative second copy (-1
+	// while unhedged), the pending deadline timer, and how many times
+	// the deadline has re-armed after failed hedge attempts.
+	hedgeNode int
+	timer     sim.Timer
+	timerSet  bool
+	retries   int
 }
 
 func newChaosState(nodes int, arena *coe.Arena) *chaosState {
 	return &chaosState{
-		arena:  arena,
-		ledger: make(map[int64]*lease),
-		byNode: make([][]int64, nodes),
+		arena:   arena,
+		ledger:  make(map[int64]*lease),
+		byNode:  make([][]int64, nodes),
+		orphans: make(map[int64]int),
 	}
 }
 
 // open records a fresh admission: a new lease on the admitting node,
 // with the chain copied out of the live request.
-func (cs *chaosState) open(idx int, receipt core.Lease, tr workload.TimedRequest, now sim.Time) {
+func (cs *chaosState) open(idx int, receipt core.Lease, tr workload.TimedRequest, now sim.Time) *lease {
 	l := &lease{
 		id:         tr.Req.ID,
 		class:      tr.Req.Class,
@@ -91,9 +115,11 @@ func (cs *chaosState) open(idx int, receipt core.Lease, tr workload.TimedRequest
 		node:       idx,
 		hasArrival: true,
 		arrival:    receipt.Issued,
+		hedgeNode:  -1,
 	}
 	cs.ledger[l.id] = l
 	cs.byNode[idx] = append(cs.byNode[idx], l.id)
+	return l
 }
 
 // park records an arrival that found no routable node: a lease with no
@@ -101,12 +127,13 @@ func (cs *chaosState) open(idx int, receipt core.Lease, tr workload.TimedRequest
 // the request object afterwards — the lease owns its own chain copy.
 func (cs *chaosState) park(tr workload.TimedRequest, now sim.Time) {
 	l := &lease{
-		id:       tr.Req.ID,
-		class:    tr.Req.Class,
-		tenant:   tr.Tenant,
-		chain:    append(make([]coe.ExpertID, 0, len(tr.Req.Chain)), tr.Req.Chain...),
-		node:     -1,
-		voidedAt: now,
+		id:        tr.Req.ID,
+		class:     tr.Req.Class,
+		tenant:    tr.Tenant,
+		chain:     append(make([]coe.ExpertID, 0, len(tr.Req.Chain)), tr.Req.Chain...),
+		node:      -1,
+		voidedAt:  now,
+		hedgeNode: -1,
 	}
 	cs.pending = append(cs.pending, l)
 	if len(cs.pending) > cs.pendingPeak {
@@ -174,9 +201,37 @@ func (c *Cluster) applyFault(p *sim.Proc, ev sim.FaultEvent) {
 		var voided []*lease
 		for _, id := range cs.byNode[ev.Node] {
 			l := cs.ledger[id]
-			if l == nil || l.node != ev.Node {
-				continue // resolved or moved since; stale byNode entry
+			if l == nil {
+				// Resolved since — but if this node holds the losing copy of
+				// a hedge race, it dies here (the node's own drop accounting
+				// records it) and is no longer expected to surface as waste.
+				if on, ok := cs.orphans[id]; ok && on == ev.Node {
+					delete(cs.orphans, id)
+					cs.hedgesVoided++
+				}
+				continue
 			}
+			if l.node != ev.Node {
+				if l.hedgeNode == ev.Node {
+					// The hedge copy dies with this node; the primary keeps
+					// the lease and may hedge again after a fresh deadline.
+					l.hedgeNode = -1
+					cs.hedgesVoided++
+					c.armHedge(l, c.hedge.After)
+				}
+				continue // moved since; stale byNode entry
+			}
+			if l.hedgeNode >= 0 {
+				// The primary died but its hedge copy holds the work:
+				// promote the hedge to primary — no void, no redelivery.
+				// byNode on the hedge's node already tracks the ID.
+				l.node = l.hedgeNode
+				l.hedgeNode = -1
+				cs.hedgePromoted++
+				c.armHedge(l, c.hedge.After)
+				continue
+			}
+			c.cancelHedge(l)
 			delete(cs.ledger, id)
 			l.node = -1
 			l.voidedAt = now
@@ -184,6 +239,9 @@ func (c *Cluster) applyFault(p *sim.Proc, ev sim.FaultEvent) {
 		}
 		cs.byNode[ev.Node] = cs.byNode[ev.Node][:0]
 		cs.lostLeases += int64(len(voided))
+		if c.health != nil {
+			c.health.resetNode(ev.Node)
+		}
 		n.sys.Crash(p)
 		for i, l := range voided {
 			if !c.redeliverOne(p, l) {
@@ -210,6 +268,12 @@ func (c *Cluster) applyFault(p *sim.Proc, ev sim.FaultEvent) {
 	case sim.FaultRecover:
 		st := n.sys.State()
 		if st == core.NodeUp {
+			if n.sys.GrayDegraded() {
+				// The gray recover: the node never left Up, the fault just
+				// stops degrading it. No routing or pending-queue work.
+				cs.recoveries++
+				n.sys.ClearGray()
+			}
 			break
 		}
 		cs.recoveries++
@@ -221,11 +285,37 @@ func (c *Cluster) applyFault(p *sim.Proc, ev sim.FaultEvent) {
 			c.drainOn[ev.Node] = false
 			c.scalerDrained[ev.Node] = false
 		}
+		n.sys.ClearGray()
 		c.unroutable--
 		c.flushPending(p)
+	case sim.FaultSlow:
+		if n.sys.State() == core.NodeDown {
+			break
+		}
+		cs.slows++
+		n.sys.SetSlow(ev.Factor)
+	case sim.FaultJitter:
+		if n.sys.State() == core.NodeDown {
+			break
+		}
+		cs.jitters++
+		n.sys.SetJitter(ev.Factor, jitterSeed(ev))
+	case sim.FaultStall:
+		if n.sys.State() == core.NodeDown {
+			break
+		}
+		cs.stalls++
+		n.sys.Stall(now, ev.For)
 	}
 	cs.verify(now, fmt.Sprintf("%s node%d", ev.Kind, ev.Node))
 	c.maybeClose()
+}
+
+// jitterSeed derives a jitter RNG seed from the event itself, so a
+// jittery node's per-batch draw sequence is a pure function of the
+// fault plan and runs stay byte-identical.
+func jitterSeed(ev sim.FaultEvent) int64 {
+	return int64(ev.Node+1)*1_000_000_007 + int64(ev.At)
 }
 
 // redeliverOne re-dispatches a voided (or parked) lease: it rebuilds
@@ -258,6 +348,10 @@ func (c *Cluster) redeliverOne(p *sim.Proc, l *lease) bool {
 		l.node = idx
 		cs.ledger[l.id] = l
 		cs.byNode[idx] = append(cs.byNode[idx], l.id)
+		if h := c.health; h != nil {
+			h.onAdmit(idx)
+		}
+		c.armHedge(l, c.hedge.After)
 	} else {
 		cs.terminalRejected++
 		if l.hasArrival {

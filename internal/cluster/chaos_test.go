@@ -319,6 +319,53 @@ func TestRateFleetScalerHysteresis(t *testing.T) {
 	if _, err := NewRateFleetScaler(0); err == nil {
 		t.Error("zero per-node rate accepted")
 	}
+
+	// The band edge is strict: shrinking from 4 to 2 requires rate <
+	// 0.7*2*10 = 14, so exactly 14 req/s holds and one request less
+	// clears it.
+	if got := s.Scale(0, w(14), sec, 4, 8); got != 4 {
+		t.Errorf("14 req/s on 4 nodes: scale = %d, want 4 (exact band edge holds)", got)
+	}
+	if got := s.Scale(0, w(13), sec, 4, 8); got != 2 {
+		t.Errorf("13 req/s on 4 nodes: scale = %d, want 2 (one below the edge shrinks)", got)
+	}
+	// need == active is the fixed point: no move in either direction.
+	if got := s.Scale(0, w(40), sec, 4, 8); got != 4 {
+		t.Errorf("40 req/s on 4 nodes: scale = %d, want 4 (need == active holds)", got)
+	}
+
+	// A crash shrinks the Up count out from under the scaler; the same
+	// offered rate that held 4 nodes must demand them back immediately —
+	// scale-up has no hysteresis.
+	if got := s.Scale(0, w(35), sec, 3, 8); got != 4 {
+		t.Errorf("35 req/s on 3 nodes after a crash: scale = %d, want 4 (immediate re-grow)", got)
+	}
+
+	// No flapping: a constant rate inside the band maps every (rate,
+	// active) pair to the same count, so repeated windows are a fixed
+	// point rather than an up/down oscillation.
+	active := 4
+	for i := 0; i < 5; i++ {
+		next := s.Scale(0, w(27), sec, active, 8)
+		if i > 0 && next != active {
+			t.Fatalf("window %d: constant 27 req/s moved the fleet %d -> %d", i, active, next)
+		}
+		active = next
+	}
+	if active != 4 {
+		t.Errorf("constant 27 req/s settled at %d nodes, want 4 (26 req/s holds: need 3 but 27 >= 0.7*3*10)", active)
+	}
+
+	// Out-of-range ShrinkAt falls back to the 0.7 default rather than
+	// disabling the band.
+	loose := &RateFleetScaler{PerNode: 10, ShrinkAt: 7}
+	if got := loose.Scale(0, w(25), sec, 4, 8); got != 4 {
+		t.Errorf("ShrinkAt 7: scale = %d, want 4 (defaulted band still holds)", got)
+	}
+	// A zero interval window carries no rate information; hold.
+	if got := s.Scale(0, w(100), 0, 3, 8); got != 3 {
+		t.Errorf("zero interval: scale = %d, want 3 (hold)", got)
+	}
 }
 
 // TestChaosArenaRedeliverySafe: with the workload source and the

@@ -89,6 +89,15 @@ type Config struct {
 	// resumes nodes to match. Requires Window > 0. Nil disables fleet
 	// scaling.
 	Autoscaler FleetAutoscaler
+
+	// Health enables per-node health scoring and the circuit breaker —
+	// the gray-failure detector. The zero value disables it and leaves
+	// every serve path byte-identical to the health-free cluster.
+	Health HealthConfig
+	// Hedge enables per-request deadline timeouts with hedged
+	// redelivery over the chaos layer's lease ledger. The zero value
+	// disables it.
+	Hedge HedgeConfig
 }
 
 // Uniform returns n copies of the node configuration — the homogeneous
@@ -155,12 +164,22 @@ type Cluster struct {
 	// drain, so a recovered node can still receive redeliveries.
 	closedAll bool
 
-	// unroutable counts nodes currently not Up. While it is zero the
-	// router sees c.nodes directly — the fault-free fast path; otherwise
-	// pickNode routes over the Up subset in scratch/scratchIdx.
+	// unroutable counts nodes currently not Up. While it is zero (and
+	// no breaker restricts a node) the router sees c.nodes directly —
+	// the fault-free fast path; otherwise pickNode routes over the
+	// eligible subset in scratch/scratchIdx.
 	unroutable int
 	scratch    []*Node
 	scratchIdx []int
+
+	// health is the per-stream scoring and breaker state; nil unless
+	// Config.Health is enabled. hedge is Config.Hedge with defaults
+	// resolved. delegates gives each node an identity-carrying
+	// StreamDelegate so completions attribute to the reporting node.
+	health    *healthState
+	hedge     HedgeConfig
+	delegates []nodeDelegate
+	probe     coe.Request
 
 	// draining counts nodes currently Draining; drain timing below is
 	// allocated only when faults or a fleet autoscaler are configured.
@@ -201,6 +220,13 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 	if cfg.Autoscaler != nil && cfg.Window <= 0 {
 		return nil, fmt.Errorf("cluster: a fleet autoscaler needs Window > 0 (the scaling interval)")
 	}
+	if err := cfg.Health.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Hedge.validate(); err != nil {
+		return nil, err
+	}
+	c.hedge = cfg.Hedge.withDefaults()
 	c.recorder.SetWindow(cfg.Window)
 	if cfg.Percentiles == core.PercentilesSketch {
 		c.recorder.UseSketch()
@@ -235,7 +261,25 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 		}
 		c.nodes = append(c.nodes, &Node{id: nc.ID, sys: sys})
 	}
+	c.delegates = make([]nodeDelegate, len(c.nodes))
+	for i := range c.delegates {
+		c.delegates[i] = nodeDelegate{c: c, idx: i}
+	}
 	return c, nil
+}
+
+// nodeDelegate is the StreamDelegate one node reports completions
+// through: it carries the node's index so the cluster can attribute the
+// completion — health scoring per node, hedge-race resolution by
+// whichever copy's node acked first.
+type nodeDelegate struct {
+	c   *Cluster
+	idx int
+}
+
+// RequestDone implements core.StreamDelegate.
+func (d *nodeDelegate) RequestDone(p *sim.Proc, r *coe.Request) {
+	d.c.requestDone(p, d.idx, r)
 }
 
 // Nodes exposes the fleet (read-only use).
@@ -276,7 +320,7 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 	c.runs++
 	c.beginLifecycle()
 	for i, n := range c.nodes {
-		if err := n.sys.JoinStream(src.Name(), c); err != nil {
+		if err := n.sys.JoinStream(src.Name(), &c.delegates[i]); err != nil {
 			// Unwind the nodes already joined: close their (empty) streams
 			// and collect the reports, so they end this stream cleanly
 			// instead of being left serving a stream nobody will ever
@@ -306,6 +350,9 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 	}
 	if c.cfg.Autoscaler != nil {
 		c.env.Go("cluster/autoscale", c.fleetAutoscale)
+	}
+	if c.health != nil {
+		c.env.Go("cluster/health", c.healthLoop)
 	}
 	c.env.Go("cluster/arrivals", func(p *sim.Proc) { c.admit(p, src) })
 	c.env.Run()
@@ -337,17 +384,24 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 }
 
 // beginLifecycle arms the per-stream lifecycle state: a fresh chaos
-// ledger when a fault plan is configured, and the drain-timing buffers
-// when faults or a fleet autoscaler can drain nodes. Fault-free,
-// scaler-free streams allocate nothing here.
+// ledger when a fault plan is configured (or hedging needs one), fresh
+// health scoring when configured, and the drain-timing buffers when
+// faults or a fleet autoscaler can drain nodes. Fault-free, scaler-free,
+// health-free streams allocate nothing here.
 func (c *Cluster) beginLifecycle() {
 	c.closedAll = false
 	c.unroutable, c.draining = 0, 0
 	c.scaleUps, c.scaleDowns = 0, 0
 	c.drainRecords = nil
 	c.chaos = nil
-	if !c.cfg.Faults.Empty() {
+	c.health = nil
+	if !c.cfg.Faults.Empty() || c.hedge.Enabled() {
+		// Hedging rides on the lease ledger even on a fault-free stream:
+		// a deadline can only re-lease what a lease tracks.
 		c.chaos = newChaosState(len(c.nodes), c.cfg.Arena)
+	}
+	if c.cfg.Health.Enabled() {
+		c.health = newHealthState(c.cfg.Health.withDefaults(), len(c.nodes))
 	}
 	if c.chaos != nil || c.cfg.Autoscaler != nil {
 		if c.drainOn == nil {
@@ -425,7 +479,11 @@ func (c *Cluster) deliver(p *sim.Proc, tr workload.TimedRequest) {
 	if ok {
 		c.recorder.Arrival(now)
 		if c.chaos != nil {
-			c.chaos.open(idx, lease, tr, now)
+			l := c.chaos.open(idx, lease, tr, now)
+			c.armHedge(l, c.hedge.After)
+		}
+		if h := c.health; h != nil {
+			h.onAdmit(idx)
 		}
 	} else {
 		c.recorder.Rejection(now)
@@ -435,13 +493,18 @@ func (c *Cluster) deliver(p *sim.Proc, tr workload.TimedRequest) {
 	}
 }
 
-// pickNode asks the router for a node. While every node is Up it routes
-// over the full fleet — the fault-free fast path, unchanged from the
-// pre-chaos cluster; otherwise it presents the router with the Up
-// subset, so a draining or crashed node stops receiving work. Returns
-// -1 when no node is routable (only possible mid-fault).
+// pickNode asks the router for a node. While every node is Up and no
+// breaker restricts one, it routes over the full fleet — the fault-free
+// fast path, unchanged from the pre-chaos cluster; otherwise it
+// presents the router with the eligible subset (Up, and breaker-closed
+// or within a half-open node's probe budget), so a draining, crashed,
+// or quarantined node stops receiving work. When every Up node is
+// quarantined the breaker yields rather than blackhole the fleet: the
+// router picks over the full Up set. Returns -1 when no node is Up at
+// all (only possible mid-fault).
 func (c *Cluster) pickNode(now sim.Time, r *coe.Request) int {
-	if c.unroutable == 0 {
+	h := c.health
+	if c.unroutable == 0 && (h == nil || h.restricted == 0) {
 		idx := c.router.Pick(now, c.nodes, r)
 		if idx < 0 || idx >= len(c.nodes) {
 			panic(fmt.Sprintf("cluster: router %s picked node %d of %d", c.router.Name(), idx, len(c.nodes)))
@@ -451,9 +514,26 @@ func (c *Cluster) pickNode(now sim.Time, r *coe.Request) int {
 	c.scratch = c.scratch[:0]
 	c.scratchIdx = c.scratchIdx[:0]
 	for i, n := range c.nodes {
-		if n.sys.State() == core.NodeUp {
-			c.scratch = append(c.scratch, n)
-			c.scratchIdx = append(c.scratchIdx, i)
+		if n.sys.State() != core.NodeUp {
+			continue
+		}
+		if h != nil && !h.eligible(i) {
+			continue
+		}
+		c.scratch = append(c.scratch, n)
+		c.scratchIdx = append(c.scratchIdx, i)
+	}
+	if len(c.scratch) == 0 && h != nil && h.restricted > 0 {
+		// Every Up node is quarantined or out of probe budget. Liveness
+		// beats the breaker: route over whatever is Up.
+		for i, n := range c.nodes {
+			if n.sys.State() == core.NodeUp {
+				c.scratch = append(c.scratch, n)
+				c.scratchIdx = append(c.scratchIdx, i)
+			}
+		}
+		if len(c.scratch) > 0 {
+			h.bypasses++
 		}
 	}
 	if len(c.scratch) == 0 {
@@ -497,21 +577,43 @@ func (c *Cluster) PredictLatency(r *coe.Request) time.Duration {
 	return best
 }
 
-// RequestDone implements core.StreamDelegate: every node reports its
-// completions into the fleet recorder, which therefore holds the exact
-// per-request latency population — fleet percentiles are computed over
-// it, not approximated from per-node summaries. With faults configured
-// the completion first resolves its lease, which both dedups (a
-// completion without a live lease counts nothing — exactly-once) and
-// restores the request's original arrival time for redelivered work, so
-// fleet latency spans first admission to final completion.
-func (c *Cluster) RequestDone(p *sim.Proc, r *coe.Request) {
+// requestDone is the fleet completion hook behind every nodeDelegate:
+// node idx reports a completion into the fleet recorder, which
+// therefore holds the exact per-request latency population — fleet
+// percentiles are computed over it, not approximated from per-node
+// summaries. With the ledger armed the completion first resolves its
+// lease, which both dedups (a completion without a live lease counts
+// nothing — exactly-once) and restores the request's original arrival
+// time for redelivered work, so fleet latency spans first admission to
+// final completion. A hedged lease resolves to whichever copy acked
+// first; the loser becomes an orphan whose own completion lands in the
+// nil-lease branch as wasted work.
+func (c *Cluster) requestDone(p *sim.Proc, idx int, r *coe.Request) {
 	now := p.Now()
 	if cs := c.chaos; cs != nil {
 		l := cs.ledger[r.ID]
 		if l == nil {
+			if on, ok := cs.orphans[r.ID]; ok && on == idx {
+				delete(cs.orphans, r.ID)
+				cs.hedgeWasted++
+				return
+			}
 			cs.dupAcks++
 			return
+		}
+		c.cancelHedge(l)
+		if l.hedgeNode >= 0 {
+			// A race was on: record the loser's holder so its late
+			// completion counts as hedge waste, not as a duplicate ack.
+			if idx == l.hedgeNode {
+				cs.hedgeWins++
+				cs.orphans[r.ID] = l.node
+			} else {
+				cs.orphans[r.ID] = l.hedgeNode
+			}
+		}
+		if h := c.health; h != nil {
+			h.onComplete(idx, now.Sub(l.arrival).Seconds())
 		}
 		delete(cs.ledger, r.ID)
 		cs.completions++
@@ -529,6 +631,9 @@ func (c *Cluster) RequestDone(p *sim.Proc, r *coe.Request) {
 		}
 		c.maybeClose()
 		return
+	}
+	if h := c.health; h != nil {
+		h.onComplete(idx, now.Sub(r.Arrival).Seconds())
 	}
 	c.recorder.Completion(r.Arrival, now)
 	if c.draining > 0 {

@@ -70,12 +70,16 @@ type Report struct {
 	// Chaos and lifecycle accounting — all zero on fault-free,
 	// scaler-free streams.
 
-	// Faults counts fault-plan events applied; Crashes, Drains, and
-	// Recoveries break them down.
+	// Faults counts fault-plan events applied; Crashes, Drains,
+	// Recoveries, and the gray kinds (Slows, Jitters, Stalls) break
+	// them down. A gray recover counts under Recoveries.
 	Faults     int
 	Crashes    int
 	Drains     int
 	Recoveries int
+	Slows      int
+	Jitters    int
+	Stalls     int
 	// LostLeases counts leases voided by crashes; Redelivered counts
 	// their successful re-admissions (≤ LostLeases: a lease can be
 	// voided and redelivered more than once, or terminally rejected).
@@ -103,6 +107,30 @@ type Report struct {
 	ScaleUps    int
 	ScaleDowns  int
 	FinalStates []core.NodeState
+
+	// Health and breaker accounting — all zero unless Config.Health is
+	// enabled. HealthScores is each node's last computed score.
+	BreakerTrips      int
+	BreakerReinstates int
+	ProbesSent        int64
+	BreakerBypasses   int64
+	HealthScores      []float64
+
+	// Hedge accounting — all zero unless Config.Hedge is enabled.
+	// HedgesFired counts speculative copies admitted; HedgeWins the
+	// leases the copy resolved first; HedgeWasted the loser copies that
+	// completed anyway (the wasted-work bill); HedgeRejected copies
+	// node admission refused; HedgeRetries deadline re-arms after a
+	// failed attempt; HedgePromoted primaries lost to a crash whose
+	// hedge copy took over the lease; HedgesVoided copies destroyed by
+	// crashes before completing.
+	HedgesFired   int64
+	HedgeWins     int64
+	HedgeWasted   int64
+	HedgeRejected int64
+	HedgeRetries  int64
+	HedgePromoted int64
+	HedgesVoided  int64
 }
 
 // DrainRecord is one completed drain: the node and how long it took to
@@ -163,8 +191,9 @@ func (c *Cluster) report(stream string, perNode []*core.Report) *Report {
 		r.TimeToDrain = append([]DrainRecord(nil), c.drainRecords...)
 	}
 	if cs := c.chaos; cs != nil {
-		r.Faults = cs.crashes + cs.drains + cs.recoveries
+		r.Faults = cs.crashes + cs.drains + cs.recoveries + cs.slows + cs.jitters + cs.stalls
 		r.Crashes, r.Drains, r.Recoveries = cs.crashes, cs.drains, cs.recoveries
+		r.Slows, r.Jitters, r.Stalls = cs.slows, cs.jitters, cs.stalls
 		r.LostLeases = cs.lostLeases
 		r.Redelivered = cs.redelivered
 		r.RedeliveredRejected = cs.redeliveredRejected
@@ -173,6 +202,20 @@ func (c *Cluster) report(stream string, perNode []*core.Report) *Report {
 			r.FailoverMean = cs.failoverSum / time.Duration(cs.failoverN)
 			r.FailoverMax = cs.failoverMax
 		}
+		r.HedgesFired = cs.hedgesFired
+		r.HedgeWins = cs.hedgeWins
+		r.HedgeWasted = cs.hedgeWasted
+		r.HedgeRejected = cs.hedgeRejected
+		r.HedgeRetries = cs.hedgeRetries
+		r.HedgePromoted = cs.hedgePromoted
+		r.HedgesVoided = cs.hedgesVoided
+	}
+	if h := c.health; h != nil {
+		r.BreakerTrips = h.trips
+		r.BreakerReinstates = h.reinstates
+		r.ProbesSent = h.probesSent
+		r.BreakerBypasses = h.bypasses
+		r.HealthScores = append([]float64(nil), h.score...)
 	}
 	if c.chaos != nil || c.cfg.Autoscaler != nil {
 		r.FinalStates = make([]core.NodeState, len(c.nodes))

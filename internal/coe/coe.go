@@ -231,6 +231,7 @@ func (b *Builder) Build() (*Model, error) {
 	if len(b.experts) == 0 {
 		return nil, fmt.Errorf("coe: model %q has no experts", b.name)
 	}
+	//detlint:allow validation only: every rule is checked and any error aborts the build; which of several errors surfaces first is not output
 	for class, rule := range b.rules {
 		if err := b.checkID(rule.Classifier); err != nil {
 			return nil, fmt.Errorf("coe: rule for class %d: %w", class, err)

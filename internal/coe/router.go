@@ -83,6 +83,7 @@ func ComputeUsage(m *Model, classProbs map[int]float64) error {
 	// associative, and map order would make probabilities (and thus
 	// eviction tie-breaks) vary across runs.
 	classes := make([]int, 0, len(classProbs))
+	//detlint:allow key collection only; sorted immediately below before any fold
 	for class := range classProbs {
 		classes = append(classes, class)
 	}

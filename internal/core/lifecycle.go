@@ -106,6 +106,10 @@ func (s *System) Crash(p *sim.Proc) int {
 	}
 	s.state = NodeDown
 	s.epoch++
+	// A crash wipes gray degradation with everything else: the restart
+	// comes back at full speed (a persistent fault is scripted as a
+	// fresh gray event after the recover).
+	s.gray = nil
 	if s.ctrl == nil || s.ctrl.finished {
 		return 0
 	}

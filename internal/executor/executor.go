@@ -55,6 +55,17 @@ type Executor struct {
 	// crash, once per request, in queue order. Required when Epoch is
 	// set.
 	OnVoid func(p *sim.Proc, r *coe.Request)
+	// Degrade, when set, maps a batch's profiled execution latency to the
+	// latency actually served — the gray-failure seam. It is consulted
+	// once per batch, after the busy-until estimate is published but
+	// before the sleep: the executor's own prediction stays at the
+	// healthy profile number because a gray-degraded node does not know
+	// it is sick. That gap — real completions stretching while the
+	// node's self-model keeps promising fast — is what makes fail-slow
+	// invisible to model-driven routing and is the whole reason health
+	// must be measured from completions. A healthy node returns lat
+	// unchanged.
+	Degrade func(p *sim.Proc, lat time.Duration) time.Duration
 
 	processed int64
 	batches   int64
@@ -139,6 +150,9 @@ func (ex *Executor) serveGroup(p *sim.Proc, g *sched.Group) {
 
 		lat := ex.Proc.Exec(e.Arch, len(batch))
 		ex.Queue.SetBusyUntil(p.Now().Add(lat + g.PredictedRemaining()))
+		if ex.Degrade != nil {
+			lat = ex.Degrade(p, lat)
+		}
 		ex.Compute.Acquire(p)
 		p.Sleep(lat)
 		ex.Compute.Release(p)

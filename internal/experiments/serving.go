@@ -30,6 +30,7 @@ func serveRegistry() []Experiment {
 		{"serve-cluster", "cluster", "multi-node serving: node count × router × placement, fleet aggregates", ServeCluster},
 		{"serve-fleet", "cluster", "100-node fleet under steady load: exact vs sketch percentile accounting", ServeFleet},
 		{"serve-chaos", "cluster", "rolling crash/drain/recover over a 4-node fleet: lease redelivery, time-to-drain, attainment dip and recovery", ServeChaos},
+		{"serve-grayfail", "cluster", "gray failures: fail-slow/jitter/stall straggler vs {none, breaker, breaker+hedge} mitigation stacks", ServeGrayfail},
 	}
 }
 

@@ -44,6 +44,7 @@ func (pm PerfMatrix) WriteJSON(w io.Writer) error {
 	}
 	// Entries for custom architectures follow in map order; re-read via
 	// ReadPerfMatrix keys them by name, so order does not matter.
+	//detlint:allow file entry order varies run to run but ReadPerfMatrix keys by name, so the decoded matrix is identical
 	for key, p := range pm {
 		if known[key] {
 			continue

@@ -145,6 +145,7 @@ func (p *Pool) Status(id coe.ExpertID) Status {
 // Loaded returns the number of resident experts.
 func (p *Pool) Loaded() int {
 	n := 0
+	//detlint:allow commutative count
 	for _, e := range p.entries {
 		if e.Status == Loaded {
 			n++
@@ -293,6 +294,7 @@ func (p *Pool) evict(need int64) {
 // scratch buffer that policies may reorder but must not retain.
 func (p *Pool) LoadedUnpinned() []*Entry {
 	out := p.scratch[:0]
+	//detlint:allow collected entries are sorted by ExpertID below before any policy sees them
 	for _, e := range p.entries {
 		if e.Status == Loaded && e.Pins == 0 {
 			out = append(out, e)

@@ -167,6 +167,7 @@ func (c *hostCache) touch(id coe.ExpertID) {
 func (c *hostCache) evictLRU() {
 	var victim coe.ExpertID = -1
 	var oldest int64 = 1<<63 - 1
+	//detlint:allow min-fold with a total tie-break on id: the victim is order-independent
 	for id, entry := range c.entries {
 		if entry.used < oldest || (entry.used == oldest && id < victim) {
 			victim, oldest = id, entry.used

@@ -17,8 +17,27 @@ const (
 	// FaultDrain takes a node out of routing gracefully: it accepts no
 	// new work but finishes what it already holds.
 	FaultDrain
-	// FaultRecover returns a crashed node to service or cancels a drain.
+	// FaultRecover returns a crashed node to service, cancels a drain, or
+	// clears a gray degradation (slow/jitter) from an otherwise-up node.
 	FaultRecover
+
+	// The kinds below are gray (performance) faults: the node stays Up
+	// and keeps its state, but its executors run against scaled timings.
+	// A gray fault is cleared by FaultRecover, replaced by a later gray
+	// event on the same node, or wiped by a crash (restart resets it).
+
+	// FaultSlow multiplies the node's per-batch service time by Factor
+	// (> 1) until recovered — the classic fail-slow straggler.
+	FaultSlow
+	// FaultJitter inflates each batch's service time by a seeded random
+	// factor uniform in [1, Factor] — noisy degradation rather than a
+	// constant slowdown. The per-node RNG is seeded from the event, so
+	// runs stay byte-identical.
+	FaultJitter
+	// FaultStall freezes the node for the window For: batches starting
+	// inside the window do not finish before it ends. The node loses no
+	// state and resumes by itself — no recover event is needed.
+	FaultStall
 )
 
 func (k FaultKind) String() string {
@@ -29,16 +48,26 @@ func (k FaultKind) String() string {
 		return "drain"
 	case FaultRecover:
 		return "recover"
+	case FaultSlow:
+		return "slow"
+	case FaultJitter:
+		return "jitter"
+	case FaultStall:
+		return "stall"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
 
 // FaultEvent is one scheduled lifecycle transition: at offset At from the
-// stream start, node Node undergoes Kind.
+// stream start, node Node undergoes Kind. Factor parameterizes the gray
+// kinds FaultSlow and FaultJitter (service-time multiplier, > 1); For is
+// FaultStall's freeze window. Both are zero for the fail-stop kinds.
 type FaultEvent struct {
-	At   time.Duration
-	Node int
-	Kind FaultKind
+	At     time.Duration
+	Node   int
+	Kind   FaultKind
+	Factor float64
+	For    time.Duration
 }
 
 // FaultPlan is a deterministic schedule of node lifecycle transitions.
@@ -54,6 +83,14 @@ func (p *FaultPlan) Empty() bool { return p == nil || len(p.Events) == 0 }
 
 // sortEvents orders the plan by time, breaking ties by declaration order
 // (stable), so equal-instant events fire deterministically.
+//
+// The tie-break is load-bearing and part of the plan contract: two events
+// at the same offset fire in the order they appear in Events *before the
+// sort* — declaration order for scripted plans, per-node generation order
+// for GenerateFaultPlan, and scripted-then-generated when a caller
+// appends a generated schedule onto a scripted one. sort.SliceStable
+// (never sort.Slice) is what preserves it; fault_test.go pins the
+// guarantee for all three plan shapes.
 func (p *FaultPlan) sortEvents() {
 	sort.SliceStable(p.Events, func(i, j int) bool {
 		return p.Events[i].At < p.Events[j].At
@@ -65,7 +102,11 @@ func (p *FaultPlan) sortEvents() {
 // event must name a node in [0, nodes), carry a non-negative offset, and
 // follow the per-node lifecycle state machine — starting Up, a node may
 // crash (Up or Draining → Down), drain (Up → Draining), or recover
-// (Down or Draining → Up).
+// (Down or Draining → Up, or clearing a gray degradation from an Up
+// node). Gray kinds apply to any node that is not Down: slow and jitter
+// need Factor > 1 and mark the node degraded until a recover, a
+// replacement gray event, or a crash; stall needs For > 0 and is
+// self-clearing.
 func (p *FaultPlan) Validate(nodes int) error {
 	if p.Empty() {
 		return nil
@@ -77,6 +118,7 @@ func (p *FaultPlan) Validate(nodes int) error {
 		down
 	)
 	state := make([]int, nodes)
+	degraded := make([]bool, nodes)
 	for i, ev := range p.Events {
 		if ev.Node < 0 || ev.Node >= nodes {
 			return fmt.Errorf("sim: fault plan event %d names node %d outside fleet of %d", i, ev.Node, nodes)
@@ -91,16 +133,33 @@ func (p *FaultPlan) Validate(nodes int) error {
 				return fmt.Errorf("sim: fault plan event %d crashes node %d which is already down", i, ev.Node)
 			}
 			state[ev.Node] = down
+			degraded[ev.Node] = false
 		case FaultDrain:
 			if s != up {
 				return fmt.Errorf("sim: fault plan event %d drains node %d which is not up", i, ev.Node)
 			}
 			state[ev.Node] = draining
 		case FaultRecover:
-			if s == up {
+			if s == up && !degraded[ev.Node] {
 				return fmt.Errorf("sim: fault plan event %d recovers node %d which is already up", i, ev.Node)
 			}
 			state[ev.Node] = up
+			degraded[ev.Node] = false
+		case FaultSlow, FaultJitter:
+			if s == down {
+				return fmt.Errorf("sim: fault plan event %d applies %s to node %d which is down", i, ev.Kind, ev.Node)
+			}
+			if ev.Factor <= 1 {
+				return fmt.Errorf("sim: fault plan event %d (%s node %d) needs Factor > 1, got %g", i, ev.Kind, ev.Node, ev.Factor)
+			}
+			degraded[ev.Node] = true
+		case FaultStall:
+			if s == down {
+				return fmt.Errorf("sim: fault plan event %d stalls node %d which is down", i, ev.Node)
+			}
+			if ev.For <= 0 {
+				return fmt.Errorf("sim: fault plan event %d (stall node %d) needs For > 0, got %v", i, ev.Node, ev.For)
+			}
 		default:
 			return fmt.Errorf("sim: fault plan event %d has unknown kind %d", i, int(ev.Kind))
 		}
