@@ -142,9 +142,13 @@ func main() {
 				name, metrics["B/op"], rec.bytesPerOp,
 				ratio(metrics["B/op"], rec.bytesPerOp), rec.bytesFactor, limit))
 		}
+		// Wall time is never gated — it varies with the machine — but the
+		// observed-vs-baseline ratio surfaces speedups and regressions in
+		// CI logs (e.g. the sharded kernel's scaling, or a serializing
+		// change sneaking into the hot path).
 		if rec.nsPerOp > 0 {
-			fmt.Printf("benchguard: %s wall time %.2fx of baseline (informational)\n",
-				name, metrics["ns/op"]/rec.nsPerOp)
+			fmt.Printf("benchguard: %s ns/op %.0f vs baseline %.0f — %s wall time (informational, not gated)\n",
+				name, metrics["ns/op"], rec.nsPerOp, ratio(metrics["ns/op"], rec.nsPerOp))
 		}
 	}
 	if err := sc.Err(); err != nil {

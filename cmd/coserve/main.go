@@ -43,6 +43,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"slices"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -94,8 +95,11 @@ commands:
   list         list reproducible tables and figures
   experiment   regenerate a figure/table by id, or "all"
                (-parallel N fans independent simulations across N workers;
-               tables are byte-identical at every worker count — only
-               fig19's wall-clock sched-cost cells vary run to run;
+               -shards N parallelizes the node partitions inside
+               interconnect-enabled simulations (serve-shard) on the
+               sharded kernel; tables are byte-identical at every
+               worker and shard count — only fig19's wall-clock
+               sched-cost cells vary run to run;
                -cpuprofile/-memprofile write pprof profiles of the run)
   run          run one task under one serving system
   serve        serve an arrival stream (poisson, fixed, bursty, mix,
@@ -122,9 +126,15 @@ commands:
                half-open probing), and -hedge-after (deadline-fired
                hedged redelivery, first completion wins),
                -cluster-admit puts an admission policy in front of the
-               router, and -fleet-autoscale R drains/resumes nodes to
+               router, -fleet-autoscale R drains/resumes nodes to
                track the offered rate at R req/s per node (needs
-               -window)
+               -window), and -interconnect d/i/x@b models front-end→
+               node dispatch latency and engages the sharded
+               deterministic kernel — every node simulates in its own
+               partition, advanced in parallel under conservative
+               lookahead (-shards N bounds the kernel workers, default
+               GOMAXPROCS, 1 = sequential; reports are byte-identical
+               at every setting, like -parallel for experiments)
   profile      run the offline profiler and print the performance matrix`)
 }
 
@@ -143,6 +153,8 @@ func cmdExperiment(args []string) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count for independent simulations (1 = fully sequential; tables are byte-identical at every setting, except fig19's wall-clock sched-cost cells which vary between any two runs)")
+	shards := fs.Int("shards", 0,
+		"sharded-kernel worker count for experiments that serve over an interconnect (serve-shard): node partitions of one simulation advanced in parallel under conservative lookahead (0 = GOMAXPROCS, 1 = sequential; tables are byte-identical at every setting — orthogonal to -parallel, which fans out whole simulations)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,6 +163,9 @@ func cmdExperiment(args []string) error {
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("parallel must be at least 1")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("shards must be >= 0 (0 = GOMAXPROCS)")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -178,6 +193,7 @@ func cmdExperiment(args []string) error {
 	}
 	ctx := coserve.NewExperimentContext()
 	ctx.SetParallel(*parallel)
+	ctx.SetShards(*shards)
 	ids := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
 		ids = nil
@@ -335,6 +351,8 @@ func cmdServe(args []string) error {
 	hedgeAfter := fs.Duration("hedge-after", 0, "hedge requests still leased after this deadline to another node; first completion wins, losers count as wasted work (0 = off; needs -nodes >= 2)")
 	clusterAdmit := fs.String("cluster-admit", "", "cluster-level admission policy in front of the router: accept, bounded, token, shed (same knobs as -admit; empty = admit everything)")
 	fleetScale := fs.Float64("fleet-autoscale", 0, "drain/resume cluster nodes to track the offered rate at this many req/s per node (0 = off; needs -window and -nodes >= 2)")
+	interconnect := fs.String("interconnect", "", `cluster interconnect hop model: dispatch/intra-board/inter-node one-way latencies with an optional @board-size, e.g. "200us/100us/600us@2" (nodes past board-size pay the inter-node class); enables the sharded deterministic kernel — the front end and every node simulate in their own partitions, advanced in parallel under conservative lookahead (needs -nodes >= 2; empty = zero-latency synchronous offers on the classic single-environment kernel)`)
+	shards := fs.Int("shards", 0, "sharded-kernel worker count with -interconnect (0 = GOMAXPROCS, 1 = sequential partitioned kernel); like -parallel for experiments, reports are byte-identical at every setting")
 	record := fs.String("record", "", "record the served arrival stream to this trace file (first round)")
 	traceFile := fs.String("trace", "", "arrival trace file to serve for -arrival replay")
 	if err := fs.Parse(args); err != nil {
@@ -355,8 +373,18 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("nodes must be at least 1")
 	}
 	if (*chaosSpec != "" || *chaosMTBF > 0 || *clusterAdmit != "" || *fleetScale > 0 ||
-		*healthWindow > 0 || *hedgeAfter > 0) && *nodes < 2 {
-		return fmt.Errorf("-chaos, -chaos-mtbf, -cluster-admit, -fleet-autoscale, -health-window, and -hedge-after need a cluster (-nodes >= 2)")
+		*healthWindow > 0 || *hedgeAfter > 0 || *interconnect != "") && *nodes < 2 {
+		return fmt.Errorf("-chaos, -chaos-mtbf, -cluster-admit, -fleet-autoscale, -health-window, -hedge-after, and -interconnect need a cluster (-nodes >= 2)")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("shards must be >= 0 (0 = GOMAXPROCS)")
+	}
+	if *shards != 0 && *interconnect == "" {
+		return fmt.Errorf("-shards needs -interconnect: without modeled cross-node latency there is no lookahead to shard under")
+	}
+	ic, err := parseInterconnect(*interconnect)
+	if err != nil {
+		return err
 	}
 	if *breakerOn && *healthWindow <= 0 {
 		return fmt.Errorf("-breaker needs -health-window (the scoring interval)")
@@ -632,14 +660,19 @@ func cmdServe(args []string) error {
 			Nodes: nodeCfgs, Router: router, Placement: placement,
 			SLO: *slo, Window: *window, Percentiles: pmode,
 			Faults: plan, Admission: fleetAdmission, Autoscaler: fleetScaler,
-			Health: coserve.HealthConfig{Window: *healthWindow, Breaker: *breakerOn},
-			Hedge:  coserve.HedgeConfig{After: *hedgeAfter},
+			Health:       coserve.HealthConfig{Window: *healthWindow, Breaker: *breakerOn},
+			Hedge:        coserve.HedgeConfig{After: *hedgeAfter},
+			Interconnect: ic,
+			Shards:       *shards,
 		}, board.Model)
 		if err != nil {
 			return err
 		}
 		where := fmt.Sprintf("%d×%s under %s (router %s, placement %s)",
 			*nodes, dev.Name, variant, router.Name(), placement.Name())
+		if workers, ok := cl.Sharded(); ok {
+			where += fmt.Sprintf(", sharded kernel (%d partitions, %d workers)", *nodes+1, workers)
+		}
 		if plan != nil && !plan.Empty() {
 			where += fmt.Sprintf(", %d faults scheduled", len(plan.Events))
 		}
@@ -665,6 +698,39 @@ func cmdServe(args []string) error {
 		printReport(rep)
 		return nil
 	})
+}
+
+// parseInterconnect parses the -interconnect hop-model syntax:
+// dispatch/intra-board/inter-node one-way latencies with an optional
+// @board-size suffix, e.g. "200us/100us/600us@2". An empty spec returns
+// the zero model (interconnect disabled, classic kernel). The cluster
+// validates the assembled model (non-negative hops, positive lookahead)
+// when it is configured.
+func parseInterconnect(spec string) (coserve.Interconnect, error) {
+	var ic coserve.Interconnect
+	if spec == "" {
+		return ic, nil
+	}
+	spec, boardStr, hasBoard := strings.Cut(spec, "@")
+	parts := strings.Split(spec, "/")
+	if len(parts) != 3 {
+		return ic, fmt.Errorf("bad -interconnect %q: want dispatch/intra-board/inter-node durations, e.g. 200us/100us/600us@2", spec)
+	}
+	for i, dst := range []*time.Duration{&ic.Dispatch, &ic.IntraBoard, &ic.InterNode} {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[i]))
+		if err != nil {
+			return ic, fmt.Errorf("bad -interconnect hop %q: %w", parts[i], err)
+		}
+		*dst = d
+	}
+	if hasBoard {
+		n, err := strconv.Atoi(strings.TrimSpace(boardStr))
+		if err != nil || n < 1 {
+			return ic, fmt.Errorf("bad -interconnect board size %q: want a positive node count", boardStr)
+		}
+		ic.BoardSize = n
+	}
+	return ic, nil
 }
 
 // parseFaultPlan parses the -chaos schedule syntax: comma-separated
@@ -776,6 +842,10 @@ func printClusterReport(r *coserve.ClusterReport) {
 			fmt.Fprintf(w, "gray faults\t%d slow, %d jitter, %d stall (nodes stayed Up throughout)\n",
 				r.Slows, r.Jitters, r.Stalls)
 		}
+	}
+	if r.Bounced > 0 || r.DupAcks > 0 {
+		fmt.Fprintf(w, "interconnect\t%d offers bounced off non-Up nodes, %d completion acks outran by redelivery\n",
+			r.Bounced, r.DupAcks)
 	}
 	if r.BreakerTrips > 0 || r.BreakerReinstates > 0 || r.ProbesSent > 0 || r.BreakerBypasses > 0 {
 		fmt.Fprintf(w, "breaker\t%d trips, %d reinstates, %d probes, %d bypasses\n",

@@ -85,10 +85,23 @@ var randConstructors = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
 }
 
+// kernelDir reports whether the file lives in a package that IS the
+// deterministic kernel (internal/sim) or runs entirely inside it
+// (internal/cluster). There, concurrency is not merely a hazard to an
+// output path — any goroutine or lock off the blessed shard-barrier
+// seam (the runner pool inside sim.Sharded, where a barrier reimposes
+// deterministic order) destroys the byte-identical-at-any-worker-count
+// contract directly.
+func kernelDir(path string) bool {
+	dir := filepath.ToSlash(filepath.Dir(path))
+	return strings.HasSuffix(dir, "internal/sim") || strings.HasSuffix(dir, "internal/cluster")
+}
+
 // lintFile applies the determinism checks to one parsed file and
 // returns its findings.
 func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []string {
 	allowed := allowedLines(fset, f)
+	kernel := kernelDir(fset.Position(f.Package).Filename)
 	// Map the file's import names so selector checks are grounded in the
 	// imported path, not a coincidental identifier.
 	imports := map[string]string{} // local name -> import path
@@ -126,6 +139,19 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []string {
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			if kernel {
+				report(n.Pos(), "goroutine launched inside the deterministic kernel (internal/sim, internal/cluster); parallelism must flow through the shard-barrier seam (sim.Sharded's runner pool), where a barrier re-imposes deterministic event order")
+			}
+		case *ast.SelectorExpr:
+			if !kernel {
+				break
+			}
+			if id, ok := n.X.(*ast.Ident); ok && id.Obj == nil {
+				if path := imports[id.Name]; path == "sync" || path == "sync/atomic" {
+					report(n.Pos(), fmt.Sprintf("%s.%s inside the deterministic kernel (internal/sim, internal/cluster); synchronization belongs to the shard-barrier seam only — kernel state must be touched by exactly one partition per phase, never guarded by locks", id.Name, n.Sel.Name))
+				}
+			}
 		case *ast.CallExpr:
 			path, fn, ok := pkgCall(n)
 			if !ok {

@@ -138,6 +138,80 @@ var t0 = time.Now()
 	}
 }
 
+// kernelFixture writes the source as a single-file package under an
+// internal/sim directory — the concurrency-restricted kernel tree —
+// and lints it.
+func kernelFixture(t *testing.T, src string) []string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "internal", "sim")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := lintRoot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestLintFlagsKernelConcurrency(t *testing.T) {
+	findings := kernelFixture(t, `package fixture
+
+import "sync"
+
+var mu sync.Mutex
+
+func launch(fn func()) {
+	go fn()
+}
+`)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want the goroutine launch and the sync.Mutex flagged", findings)
+	}
+	var goStmt, syncUse bool
+	for _, f := range findings {
+		goStmt = goStmt || strings.Contains(f, "goroutine launched")
+		syncUse = syncUse || strings.Contains(f, "sync.Mutex")
+	}
+	if !goStmt || !syncUse {
+		t.Fatalf("findings = %v, want one goroutine and one sync finding", findings)
+	}
+}
+
+func TestLintKernelConcurrencyScopedToKernelDirs(t *testing.T) {
+	// The identical source outside internal/sim and internal/cluster is
+	// legal: ordinary packages may use goroutines and locks freely.
+	findings := lintFixture(t, `package fixture
+
+import "sync"
+
+var mu sync.Mutex
+
+func launch(fn func()) {
+	go fn()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want concurrency outside the kernel dirs unflagged", findings)
+	}
+}
+
+func TestLintKernelConcurrencyExemptable(t *testing.T) {
+	findings := kernelFixture(t, `package fixture
+
+func launch(fn func()) {
+	//detlint:allow the blessed seam: the launch synchronizes behind a barrier
+	go fn()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("findings = %v, want the annotated launch exempted", findings)
+	}
+}
+
 // TestLintInternalClean pins the repo's own invariant: the lint passes
 // over internal/ as committed, exemptions and all.
 func TestLintInternalClean(t *testing.T) {

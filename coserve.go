@@ -342,6 +342,13 @@ type (
 	// HedgeConfig enables per-request deadlines with hedged redelivery
 	// (ClusterConfig.Hedge).
 	HedgeConfig = cluster.HedgeConfig
+	// Interconnect models per-hop front-end→node dispatch latency
+	// (ClusterConfig.Interconnect). Enabling it moves the cluster onto
+	// the sharded deterministic kernel: the front end and every node
+	// simulate in their own partitions, advanced in parallel under the
+	// model's conservative lookahead, with reports byte-identical at
+	// every ClusterConfig.Shards setting.
+	Interconnect = cluster.Interconnect
 	// NodeState is a node's lifecycle state (up, draining, down).
 	NodeState = core.NodeState
 	// NodeLease is the receipt a node returns when it accepts an offered

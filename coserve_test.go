@@ -148,8 +148,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := coserve.RunExperiment(nil, "fig99"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if got := len(coserve.Experiments()); got != 24 {
-		t.Errorf("experiments = %d, want 24 (13 paper artifacts + 3 extensions + 8 serving)", got)
+	if got := len(coserve.Experiments()); got != 25 {
+		t.Errorf("experiments = %d, want 25 (13 paper artifacts + 3 extensions + 9 serving)", got)
 	}
 }
 

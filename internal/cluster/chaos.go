@@ -39,10 +39,20 @@ type chaosState struct {
 	srcClosed bool
 
 	// Exactly-once accounting: at every fault boundary,
-	// arrivals == completions + terminalRejected + len(ledger) + len(pending).
+	// arrivals == completions + terminalRejected + len(ledger) + len(pending)
+	//           + offersInFlight.
+	// The last term exists only on the sharded kernel: a primary or
+	// redelivery offer crossing the interconnect holds its request's
+	// accounting token until the fold lands it in one of the other
+	// buckets. hedgeOffers tracks in-flight hedge copies separately —
+	// duplicates carry no token but still gate stream close. bounced
+	// counts offers that found their node not Up and were re-routed.
 	arrivals         int64 // requests the source yielded
 	completions      int64 // lease-resolved completions (each request once)
 	terminalRejected int64 // requests rejected with no lease left open
+	offersInFlight   int64 // primary/redelivery offers on the wire
+	hedgeOffers      int64 // hedge offers on the wire
+	bounced          int64 // offers bounced off a not-Up node
 	violations       []string
 
 	crashes, drains, recoveries int
@@ -89,10 +99,13 @@ type lease struct {
 	// Hedging state: the node holding the speculative second copy (-1
 	// while unhedged), the pending deadline timer, and how many times
 	// the deadline has re-armed after failed hedge attempts.
-	hedgeNode int
-	timer     sim.Timer
-	timerSet  bool
-	retries   int
+	// hedgeInFlight marks a hedge offer on the wire (sharded kernel
+	// only) so the deadline cannot launch a second copy meanwhile.
+	hedgeNode     int
+	hedgeInFlight bool
+	timer         sim.Timer
+	timerSet      bool
+	retries       int
 }
 
 func newChaosState(nodes int, arena *coe.Arena) *chaosState {
@@ -161,12 +174,12 @@ func (cs *chaosState) leaseRequest(l *lease) *coe.Request {
 // recording (not panicking on) violations so Serve can fail the stream
 // with the full list.
 func (cs *chaosState) verify(now sim.Time, where string) {
-	got := cs.completions + cs.terminalRejected + int64(len(cs.ledger)) + int64(len(cs.pending))
+	got := cs.completions + cs.terminalRejected + int64(len(cs.ledger)) + int64(len(cs.pending)) + cs.offersInFlight
 	if got != cs.arrivals {
 		cs.violations = append(cs.violations, fmt.Sprintf(
-			"at %v (%s): completions %d + rejections %d + leased %d + pending %d = %d, want arrivals %d",
+			"at %v (%s): completions %d + rejections %d + leased %d + pending %d + in-flight %d = %d, want arrivals %d",
 			now.Duration(), where, cs.completions, cs.terminalRejected,
-			len(cs.ledger), len(cs.pending), got, cs.arrivals))
+			len(cs.ledger), len(cs.pending), cs.offersInFlight, got, cs.arrivals))
 	}
 }
 
@@ -218,6 +231,12 @@ func (c *Cluster) applyFault(p *sim.Proc, ev sim.FaultEvent) {
 					l.hedgeNode = -1
 					cs.hedgesVoided++
 					c.armHedge(l, c.hedge.After)
+				} else if on, ok := cs.orphans[id]; ok && on == ev.Node {
+					// Sharded kernel only: an orphaned duplicate (its lease
+					// was resolved or redelivered elsewhere while the copy
+					// flew) dies with the node before surfacing as waste.
+					delete(cs.orphans, id)
+					cs.hedgesVoided++
 				}
 				continue // moved since; stale byNode entry
 			}
@@ -327,6 +346,9 @@ func jitterSeed(ev sim.FaultEvent) int64 {
 // count as a rejection).
 func (c *Cluster) redeliverOne(p *sim.Proc, l *lease) bool {
 	now := p.Now()
+	if c.kernel != nil {
+		return c.shardRedeliver(now, l)
+	}
 	cs := c.chaos
 	r := cs.leaseRequest(l)
 	idx := c.pickNode(now, r)

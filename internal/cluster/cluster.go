@@ -98,6 +98,21 @@ type Config struct {
 	// redelivery over the chaos layer's lease ledger. The zero value
 	// disables it.
 	Hedge HedgeConfig
+
+	// Interconnect models the dispatch latency between the front end
+	// and its nodes. Enabling it moves the cluster onto the sharded
+	// event kernel — every node in its own partition, offers and acks
+	// as timed cross-partition events — whose output is byte-identical
+	// at every Shards setting. The zero value disables the model and
+	// keeps the single shared environment, byte-identical to the
+	// latency-free cluster.
+	Interconnect Interconnect
+	// Shards bounds how many node partitions simulate concurrently
+	// when the Interconnect is enabled: 0 defaults to GOMAXPROCS, 1
+	// runs the partitioned kernel sequentially (same output, no
+	// parallelism). Ignored without an Interconnect — with zero modeled
+	// latency there is no lookahead to parallelize under.
+	Shards int
 }
 
 // Uniform returns n copies of the node configuration — the homogeneous
@@ -146,6 +161,13 @@ type Cluster struct {
 	placement Placement
 	nodes     []*Node
 	recorder  *metrics.Recorder
+
+	// kernel is the sharded event kernel when Config.Interconnect is
+	// enabled (env then aliases its coordinator partition); nil keeps
+	// the classic single shared environment. latency caches each
+	// node's one-way hop cost.
+	kernel  *sim.Sharded
+	latency []time.Duration
 
 	runs    int
 	serving bool
@@ -202,11 +224,26 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 	c := &Cluster{
 		cfg:       cfg,
 		m:         m,
-		env:       sim.NewEnv(),
 		router:    cfg.Router,
 		placement: cfg.Placement,
 		recorder:  metrics.NewRecorder(),
 		routed:    make([]int64, len(cfg.Nodes)),
+	}
+	if err := cfg.Interconnect.validate(len(cfg.Nodes)); err != nil {
+		return nil, err
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("cluster: Shards must be >= 0, got %d", cfg.Shards)
+	}
+	if cfg.Interconnect.Enabled() {
+		c.kernel = sim.NewSharded(1+len(cfg.Nodes), cfg.Shards, cfg.Interconnect.Lookahead(len(cfg.Nodes)))
+		c.env = c.kernel.Part(0)
+		c.latency = make([]time.Duration, len(cfg.Nodes))
+		for i := range c.latency {
+			c.latency[i] = cfg.Interconnect.NodeLatency(i)
+		}
+	} else {
+		c.env = sim.NewEnv()
 	}
 	if c.router == nil {
 		c.router = LeastLoaded{}
@@ -255,7 +292,16 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 			nc.Preload = plan[i]
 		}
 		nc.Percentiles = cfg.Percentiles
-		sys, err := core.NewSystemInEnv(nc, m, c.env)
+		env := c.env
+		if c.kernel != nil {
+			// Each node simulates in its own partition, and request
+			// objects stay coordinator-owned: the node hands them back
+			// through the delegate's completion and drop folds instead of
+			// recycling into the shared arena from a worker partition.
+			env = c.kernel.Part(1 + i)
+			nc.ExternalRecycle = true
+		}
+		sys, err := core.NewSystemInEnv(nc, m, env)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %s: %w", nc.ID, err)
 		}
@@ -277,13 +323,46 @@ type nodeDelegate struct {
 	idx int
 }
 
-// RequestDone implements core.StreamDelegate.
+// RequestDone implements core.StreamDelegate. On the sharded kernel it
+// runs inside the node's partition, so the completion travels to the
+// coordinator as a fold event instead of a direct call.
 func (d *nodeDelegate) RequestDone(p *sim.Proc, r *coe.Request) {
+	if d.c.kernel != nil {
+		d.c.foldCompletion(d.idx, p.Now(), r)
+		return
+	}
 	d.c.requestDone(p, d.idx, r)
+}
+
+// RequestDropped implements core.DropDelegate: under ExternalRecycle —
+// set exactly when the kernel is sharded — a crash-voided request
+// folds back to the coordinator for recycling.
+func (d *nodeDelegate) RequestDropped(now sim.Time, r *coe.Request) {
+	d.c.postRecycle(d.idx, now, r)
 }
 
 // Nodes exposes the fleet (read-only use).
 func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Sharded reports whether the cluster runs on the sharded event
+// kernel, and under how many workers. (0, false) means the classic
+// single shared environment.
+func (c *Cluster) Sharded() (workers int, ok bool) {
+	if c.kernel == nil {
+		return 0, false
+	}
+	return c.kernel.Workers(), true
+}
+
+// runKernel drives the stream to completion on whichever kernel the
+// cluster was built over.
+func (c *Cluster) runKernel() {
+	if c.kernel != nil {
+		c.kernel.Run()
+		return
+	}
+	c.env.Run()
+}
 
 // Runs reports how many streams the cluster has served.
 func (c *Cluster) Runs() int { return c.runs }
@@ -313,7 +392,11 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 	defer func() { c.serving = false }()
 
 	if c.runs > 0 {
-		c.env.Reopen()
+		if c.kernel != nil {
+			c.kernel.Reopen()
+		} else {
+			c.env.Reopen()
+		}
 		c.recorder.Reset()
 		clear(c.routed)
 	}
@@ -330,7 +413,7 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 				for _, m := range c.nodes[:i] {
 					m.sys.CloseStream()
 				}
-				c.env.Run()
+				c.runKernel()
 				for _, m := range c.nodes[:i] {
 					m.sys.StreamReport()
 				}
@@ -355,7 +438,7 @@ func (c *Cluster) Serve(src workload.Source) (*Report, error) {
 		c.env.Go("cluster/health", c.healthLoop)
 	}
 	c.env.Go("cluster/arrivals", func(p *sim.Proc) { c.admit(p, src) })
-	c.env.Run()
+	c.runKernel()
 
 	if cs := c.chaos; cs != nil {
 		cs.verify(c.env.Now(), "stream end")
@@ -395,9 +478,11 @@ func (c *Cluster) beginLifecycle() {
 	c.drainRecords = nil
 	c.chaos = nil
 	c.health = nil
-	if !c.cfg.Faults.Empty() || c.hedge.Enabled() {
+	if !c.cfg.Faults.Empty() || c.hedge.Enabled() || c.kernel != nil {
 		// Hedging rides on the lease ledger even on a fault-free stream:
-		// a deadline can only re-lease what a lease tracks.
+		// a deadline can only re-lease what a lease tracks. The sharded
+		// kernel always runs over the ledger too — an offer on the wire
+		// needs a lease to land in, and close must wait for it.
 		c.chaos = newChaosState(len(c.nodes), c.cfg.Arena)
 	}
 	if c.cfg.Health.Enabled() {
@@ -472,6 +557,13 @@ func (c *Cluster) deliver(p *sim.Proc, tr workload.TimedRequest) {
 		// redelivery when a node recovers, and recycle the object.
 		c.chaos.park(tr, now)
 		coe.Recycle(tr.Req)
+		return
+	}
+	if c.kernel != nil {
+		// Sharded kernel: the offer crosses the interconnect as a timed
+		// event; admission outcome, lease, and recorder updates land on
+		// the folds.
+		c.postOffer(now, idx, offerPrimary, tr.Req, tr.Tenant, nil)
 		return
 	}
 	c.routed[idx]++
@@ -650,6 +742,12 @@ func (c *Cluster) maybeClose() {
 		return
 	}
 	if len(cs.ledger) > 0 || len(cs.pending) > 0 {
+		return
+	}
+	if cs.offersInFlight > 0 || cs.hedgeOffers > 0 {
+		// An offer is still on the wire: a primary or redelivery will
+		// open a lease when its fold lands, and even a hedge duplicate
+		// must find its node's stream open to be admitted and drained.
 		return
 	}
 	c.closedAll = true

@@ -73,7 +73,7 @@ func (c *Cluster) cancelHedge(l *lease) {
 func (c *Cluster) hedgeDue(id int64) {
 	cs := c.chaos
 	l := cs.ledger[id]
-	if l == nil || l.node < 0 || l.hedgeNode >= 0 {
+	if l == nil || l.node < 0 || l.hedgeNode >= 0 || l.hedgeInFlight {
 		return // resolved, voided, or already hedged since arming
 	}
 	l.timerSet = false
@@ -89,7 +89,7 @@ func (c *Cluster) hedgeDue(id int64) {
 func (c *Cluster) fireHedge(p *sim.Proc, id int64) {
 	cs := c.chaos
 	l := cs.ledger[id]
-	if l == nil || l.node < 0 || l.hedgeNode >= 0 {
+	if l == nil || l.node < 0 || l.hedgeNode >= 0 || l.hedgeInFlight {
 		return
 	}
 	// With the breaker armed, hedge only leases whose holder is actually
@@ -111,6 +111,16 @@ func (c *Cluster) fireHedge(p *sim.Proc, id int64) {
 		return
 	}
 	r := cs.leaseRequest(l)
+	if c.kernel != nil {
+		// Sharded kernel: the hedge copy crosses the interconnect like
+		// any offer. hedgesFired, the byNode entry, and the race state
+		// attach when the accept fold lands; a refusal or bounce re-arms
+		// the deadline from its fold.
+		l.hedgeInFlight = true
+		c.postOffer(now, idx, offerHedge, r, l.tenant, l)
+		cs.verify(now, fmt.Sprintf("hedge %d", id))
+		return
+	}
 	c.routed[idx]++
 	_, ok := c.nodes[idx].sys.Offer(p, workload.TimedRequest{Req: r, Tenant: l.tenant})
 	if !ok {

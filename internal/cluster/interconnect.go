@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Interconnect is a minimal model of the dispatch fabric between the
+// cluster front end and its nodes: every offer, fold-back
+// acknowledgment, and rejection crosses one hop whose latency is the
+// shared Dispatch cost plus a topology class — IntraBoard for nodes on
+// the front end's board, InterNode for everything else. It is the down
+// payment on full hierarchical-interconnect modeling: one latency
+// class per board tier, applied at the front-end/node seam only
+// (intra-node traffic already runs under the per-device cost model).
+//
+// Enabling the interconnect switches the cluster onto the sharded
+// event kernel: each node simulates in its own partition, synchronized
+// conservatively under a lookahead equal to the minimum modeled hop
+// latency, so partitions can run in parallel (Config.Shards) with
+// byte-identical output at every shard count. The zero value disables
+// the model entirely — offers stay synchronous on the single shared
+// environment, byte-identical to the latency-free cluster.
+//
+// One sharing caveat follows from the partitioning: per-node state
+// referenced from a node's core.Config (Trace sinks, admission
+// policies, autoscalers) must not be shared between nodes once the
+// interconnect is enabled, because node partitions execute
+// concurrently within a round.
+type Interconnect struct {
+	// Dispatch is the base per-hop dispatch latency every offer and
+	// acknowledgment pays regardless of destination.
+	Dispatch time.Duration
+	// IntraBoard is the additional hop cost to nodes sharing the front
+	// end's board (node indices below BoardSize).
+	IntraBoard time.Duration
+	// InterNode is the additional hop cost to nodes on other boards.
+	InterNode time.Duration
+	// BoardSize is how many nodes share the front end's board; zero (or
+	// negative) places every node on the front end's board, so only
+	// Dispatch + IntraBoard applies.
+	BoardSize int
+}
+
+// Enabled reports whether any latency component is configured — the
+// switch that engages the sharded kernel.
+func (ic Interconnect) Enabled() bool {
+	return ic.Dispatch > 0 || ic.IntraBoard > 0 || ic.InterNode > 0
+}
+
+// NodeLatency is the one-way hop latency between the front end and
+// node i.
+func (ic Interconnect) NodeLatency(i int) time.Duration {
+	hop := ic.IntraBoard
+	if ic.BoardSize > 0 && i >= ic.BoardSize {
+		hop = ic.InterNode
+	}
+	return ic.Dispatch + hop
+}
+
+// Lookahead is the conservative synchronization horizon the sharded
+// kernel runs under: the minimum one-way hop latency over the fleet.
+// No cross-partition effect can propagate faster than it.
+func (ic Interconnect) Lookahead(nodes int) time.Duration {
+	min := time.Duration(-1)
+	for i := 0; i < nodes; i++ {
+		if d := ic.NodeLatency(i); min < 0 || d < min {
+			min = d
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	return min
+}
+
+// validate checks the model for a fleet of the given size.
+func (ic Interconnect) validate(nodes int) error {
+	if ic.Dispatch < 0 || ic.IntraBoard < 0 || ic.InterNode < 0 {
+		return fmt.Errorf("cluster: Interconnect latencies must be >= 0 (Dispatch %v, IntraBoard %v, InterNode %v)",
+			ic.Dispatch, ic.IntraBoard, ic.InterNode)
+	}
+	if !ic.Enabled() {
+		return nil
+	}
+	if la := ic.Lookahead(nodes); la <= 0 {
+		return fmt.Errorf("cluster: enabled Interconnect needs a positive hop latency to every node (lookahead %v); give Dispatch or the hop class of the nearest node a positive value", la)
+	}
+	return nil
+}

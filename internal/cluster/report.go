@@ -95,6 +95,17 @@ type Report struct {
 	// PendingPeak is the largest redelivery backlog observed while no
 	// node was routable.
 	PendingPeak int
+	// Bounced counts offers that crossed the interconnect only to find
+	// their node no longer Up, and were re-routed by the front end.
+	// Always zero without Config.Interconnect: the synchronous offer
+	// path routes and admits at the same instant.
+	Bounced int64
+	// DupAcks counts completion acknowledgments that arrived after
+	// their lease had been voided and redelivered — work finished on a
+	// node the ledger no longer tracked. Only the sharded kernel can
+	// produce them (an ack and a crash can cross on the wire); they
+	// never count as completions.
+	DupAcks int64
 	// FailoverMean and FailoverMax summarize the time from a lease's
 	// void (the crash) to its redelivered completion.
 	FailoverMean time.Duration
@@ -198,6 +209,8 @@ func (c *Cluster) report(stream string, perNode []*core.Report) *Report {
 		r.Redelivered = cs.redelivered
 		r.RedeliveredRejected = cs.redeliveredRejected
 		r.PendingPeak = cs.pendingPeak
+		r.Bounced = cs.bounced
+		r.DupAcks = cs.dupAcks
 		if cs.failoverN > 0 {
 			r.FailoverMean = cs.failoverSum / time.Duration(cs.failoverN)
 			r.FailoverMax = cs.failoverMax

@@ -1,0 +1,266 @@
+package cluster
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// testInterconnect is the hop model the sharded tests run under: a
+// split fleet with the first two nodes on the front end's board and a
+// slower class beyond it, so per-node latencies genuinely differ.
+var testInterconnect = Interconnect{
+	Dispatch:   200 * time.Microsecond,
+	IntraBoard: 100 * time.Microsecond,
+	InterNode:  600 * time.Microsecond,
+	BoardSize:  2,
+}
+
+// shardConfig builds a 4-node sharded fleet over the hop model with
+// the given lifecycle knobs.
+func shardConfig(t testing.TB, shards int, plan *sim.FaultPlan, health HealthConfig, hedge HedgeConfig) Config {
+	t.Helper()
+	return Config{
+		Nodes:        Uniform(4, nodeConfig(t, hw.NUMADevice())),
+		Router:       Affinity{},
+		Placement:    Partition{},
+		SLO:          3 * time.Second,
+		Faults:       plan,
+		Health:       health,
+		Hedge:        hedge,
+		Interconnect: testInterconnect,
+		Shards:       shards,
+	}
+}
+
+// serveSharded runs one stream over a sharded fleet and returns the
+// normalized report.
+func serveSharded(t *testing.T, cfg Config, rate float64, n int, seed int64) *Report {
+	t.Helper()
+	board := boardFor(t, workload.BoardA())
+	cl := buildCluster(t, cfg, board.Model)
+	rep, err := cl.Serve(poissonFor(t, board, rate, n, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return normalize(rep)
+}
+
+// shardCounts are the worker counts every determinism test sweeps:
+// sequential, two, three, and whatever the host offers.
+func shardCounts() []int {
+	return []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+}
+
+// TestShardedFleetDeterministicAcrossShardCounts pins the kernel's
+// core guarantee on a fault-free fleet: the full report — fleet
+// percentiles, per-node reports, imbalance — is identical at every
+// shard count, sequential included.
+func TestShardedFleetDeterministicAcrossShardCounts(t *testing.T) {
+	want := serveSharded(t, shardConfig(t, 1, nil, HealthConfig{}, HedgeConfig{}), 40, 200, 13)
+	if want.Completions == 0 || want.N == 0 {
+		t.Fatalf("reference run served nothing: %d arrivals, %d completions", want.N, want.Completions)
+	}
+	for _, shards := range shardCounts()[1:] {
+		got := serveSharded(t, shardConfig(t, shards, nil, HealthConfig{}, HedgeConfig{}), 40, 200, 13)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d diverged from shards=1:\n%+v\nvs\n%+v", shards, want, got)
+		}
+	}
+}
+
+// TestShardedChaosDeterministicAcrossShardCounts sweeps the crash/
+// drain/recover machinery — lease voiding, redelivery racing
+// completion folds on the wire, pending-queue flushes — across shard
+// counts.
+func TestShardedChaosDeterministicAcrossShardCounts(t *testing.T) {
+	plan := &sim.FaultPlan{Events: []sim.FaultEvent{
+		{At: time.Second, Node: 1, Kind: sim.FaultCrash},
+		{At: 2500 * time.Millisecond, Node: 1, Kind: sim.FaultRecover},
+		{At: 3 * time.Second, Node: 2, Kind: sim.FaultDrain},
+		{At: 4500 * time.Millisecond, Node: 2, Kind: sim.FaultRecover},
+	}}
+	want := serveSharded(t, shardConfig(t, 1, plan, HealthConfig{}, HedgeConfig{}), 30, 150, 9)
+	if want.LostLeases == 0 {
+		t.Fatal("crash voided no leases; the test exercises nothing")
+	}
+	for _, shards := range shardCounts()[1:] {
+		got := serveSharded(t, shardConfig(t, shards, plan, HealthConfig{}, HedgeConfig{}), 30, 150, 9)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d diverged from shards=1:\n%+v\nvs\n%+v", shards, want, got)
+		}
+	}
+}
+
+// TestShardedGrayfailDeterministicAcrossShardCounts sweeps the full
+// gray stack — slow/jitter/stall injection, breaker, hedged offers in
+// flight — across shard counts.
+func TestShardedGrayfailDeterministicAcrossShardCounts(t *testing.T) {
+	plan := &sim.FaultPlan{Events: []sim.FaultEvent{
+		{At: time.Second, Node: 1, Kind: sim.FaultSlow, Factor: 150},
+		{At: 1500 * time.Millisecond, Node: 2, Kind: sim.FaultJitter, Factor: 400},
+		{At: 2 * time.Second, Node: 3, Kind: sim.FaultStall, For: 4 * time.Second},
+		{At: 9 * time.Second, Node: 1, Kind: sim.FaultRecover},
+		{At: 9 * time.Second, Node: 2, Kind: sim.FaultRecover},
+	}}
+	want := serveSharded(t, shardConfig(t, 1, plan, grayHealth, HedgeConfig{After: time.Second}), 8, 120, 20260807)
+	for _, shards := range shardCounts()[1:] {
+		got := serveSharded(t, shardConfig(t, shards, plan, grayHealth, HedgeConfig{After: time.Second}), 8, 120, 20260807)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("shards=%d diverged from shards=1:\n%+v\nvs\n%+v", shards, want, got)
+		}
+	}
+}
+
+// TestShardedExactlyOnceUnderChaos asserts the accounting contract on
+// the sharded kernel directly: every arrival resolves exactly once
+// even with crashes racing completion acks across the interconnect,
+// and redelivery covers every voided lease.
+func TestShardedExactlyOnceUnderChaos(t *testing.T) {
+	plan := &sim.FaultPlan{Events: []sim.FaultEvent{
+		{At: time.Second, Node: 1, Kind: sim.FaultCrash},
+		{At: 2 * time.Second, Node: 1, Kind: sim.FaultRecover},
+		{At: 3 * time.Second, Node: 0, Kind: sim.FaultCrash},
+		{At: 4 * time.Second, Node: 0, Kind: sim.FaultRecover},
+	}}
+	rep := serveSharded(t, shardConfig(t, runtime.GOMAXPROCS(0), plan, HealthConfig{}, HedgeConfig{}), 30, 150, 11)
+	if rep.N != 150 {
+		t.Fatalf("admitted %d of 150", rep.N)
+	}
+	if rep.Completions+rep.RedeliveredRejected != rep.N {
+		t.Errorf("exactly-once broken: %d completions + %d rejected != %d admitted",
+			rep.Completions, rep.RedeliveredRejected, rep.N)
+	}
+	if rep.LostLeases == 0 {
+		t.Fatal("two crashes voided no leases; the test exercises nothing")
+	}
+	if rep.Redelivered < rep.LostLeases-rep.RedeliveredRejected {
+		t.Errorf("redelivered %d of %d voided leases (%d terminally rejected)",
+			rep.Redelivered, rep.LostLeases, rep.RedeliveredRejected)
+	}
+}
+
+// TestShardedReopenDeterministic pins warm restarts on the sharded
+// kernel: consecutive Serve calls reopen every partition (worker
+// clocks lag the coordinator between streams), hedge timers and leases
+// from the first stream never leak into the second, and both streams
+// stay shard-count-invariant.
+func TestShardedReopenDeterministic(t *testing.T) {
+	plan := &sim.FaultPlan{Events: []sim.FaultEvent{
+		{At: time.Second, Node: 1, Kind: sim.FaultCrash},
+		{At: 2 * time.Second, Node: 1, Kind: sim.FaultRecover},
+	}}
+	board := boardFor(t, workload.BoardA())
+	run := func(shards int) []*Report {
+		cl := buildCluster(t, shardConfig(t, shards, plan, grayHealth, HedgeConfig{After: time.Second}), board.Model)
+		var reps []*Report
+		for round := 0; round < 2; round++ {
+			rep, err := cl.Serve(poissonFor(t, board, 25, 100, int64(17+round)))
+			if err != nil {
+				t.Fatalf("shards=%d round %d: %v", shards, round, err)
+			}
+			if rep.Completions+rep.RedeliveredRejected != rep.N {
+				t.Fatalf("shards=%d round %d: %d completions + %d rejected != %d admitted",
+					shards, round, rep.Completions, rep.RedeliveredRejected, rep.N)
+			}
+			reps = append(reps, normalize(rep))
+		}
+		return reps
+	}
+	want := run(1)
+	for _, shards := range []int{3, runtime.GOMAXPROCS(0)} {
+		got := run(shards)
+		for round := range want {
+			if !reflect.DeepEqual(want[round], got[round]) {
+				t.Errorf("shards=%d round %d diverged:\n%+v\nvs\n%+v", shards, round, want[round], got[round])
+			}
+		}
+	}
+}
+
+// TestShardedZeroInterconnectUnsharded pins the engagement seam: a
+// zero-valued Interconnect keeps the classic single-environment
+// cluster regardless of Shards, byte-identical to a config that never
+// mentions either knob.
+func TestShardedZeroInterconnectUnsharded(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	base := Config{
+		Nodes:     Uniform(3, nodeConfig(t, hw.NUMADevice())),
+		Router:    Affinity{},
+		Placement: UsageProportional{},
+		SLO:       time.Second,
+	}
+	plain := buildCluster(t, base, board.Model)
+	if _, ok := plain.Sharded(); ok {
+		t.Fatal("latency-free cluster reports a sharded kernel")
+	}
+	shardy := base
+	shardy.Shards = 4
+	cl := buildCluster(t, shardy, board.Model)
+	if _, ok := cl.Sharded(); ok {
+		t.Fatal("Shards without an Interconnect must not engage the sharded kernel")
+	}
+	a, err := plain.Serve(poissonFor(t, board, 40, 200, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.Serve(poissonFor(t, board, 40, 200, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(a), normalize(b)) {
+		t.Error("Shards knob changed a latency-free serve")
+	}
+}
+
+// TestShardedConfigValidation pins the constructor's contract checks.
+func TestShardedConfigValidation(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	bad := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative shards", func(c *Config) { c.Shards = -1 }},
+		{"negative latency", func(c *Config) { c.Interconnect = Interconnect{Dispatch: -time.Millisecond} }},
+		{"zero lookahead", func(c *Config) {
+			// Enabled, but the front end's board reaches its nodes for free.
+			c.Interconnect = Interconnect{InterNode: time.Millisecond, BoardSize: 2}
+		}},
+	}
+	for _, tc := range bad {
+		cfg := shardConfig(t, 1, nil, HealthConfig{}, HedgeConfig{})
+		tc.mut(&cfg)
+		if _, err := New(cfg, board.Model); err == nil {
+			t.Errorf("%s: New accepted the config", tc.name)
+		}
+	}
+	cl := buildCluster(t, shardConfig(t, 0, nil, HealthConfig{}, HedgeConfig{}), board.Model)
+	if w, ok := cl.Sharded(); !ok || w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Shards=0 => workers %d, sharded %v; want GOMAXPROCS(%d), true", w, ok, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestShardedLatencyShowsUp sanity-checks that the hop model actually
+// costs something: the same stream served with a 10x slower
+// interconnect completes with a strictly higher mean latency.
+func TestShardedLatencyShowsUp(t *testing.T) {
+	fast := serveSharded(t, shardConfig(t, 2, nil, HealthConfig{}, HedgeConfig{}), 40, 200, 13)
+	slowIC := shardConfig(t, 2, nil, HealthConfig{}, HedgeConfig{})
+	slowIC.Interconnect = Interconnect{
+		Dispatch:   2 * time.Millisecond,
+		IntraBoard: time.Millisecond,
+		InterNode:  6 * time.Millisecond,
+		BoardSize:  2,
+	}
+	slow := serveSharded(t, slowIC, 40, 200, 13)
+	if slow.Latency.Mean <= fast.Latency.Mean {
+		t.Errorf("10x interconnect did not raise mean latency: fast %v, slow %v",
+			time.Duration(fast.Latency.Mean*float64(time.Second)),
+			time.Duration(slow.Latency.Mean*float64(time.Second)))
+	}
+}

@@ -92,7 +92,7 @@ func (c *controller) admit(p *sim.Proc) {
 		if wait := due.Sub(p.Now()); wait > 0 {
 			p.Sleep(wait)
 		}
-		c.offer(p, tr)
+		c.offer(p.Now(), tr)
 	}
 	c.closed = true
 	if c.completed+c.dropped == c.admitted {
@@ -101,15 +101,14 @@ func (c *controller) admit(p *sim.Proc) {
 }
 
 // offer runs one arrival through the admission policy and, if accepted,
-// the dispatch path, at the current virtual time. Rejected requests
-// leave exactly one mark — a rejection count (and a KindRejected trace
+// the dispatch path, at virtual time now. Rejected requests leave
+// exactly one mark — a rejection count (and a KindRejected trace
 // event) — and never touch a queue, the recorder's completion path, or
 // the per-tenant latency aggregates. It is the shared arrival body of
 // the node's own admit loop and the cluster's router loop (Offer).
-func (c *controller) offer(p *sim.Proc, tr workload.TimedRequest) bool {
+func (c *controller) offer(now sim.Time, tr workload.TimedRequest) bool {
 	s := c.sys
 	r := tr.Req
-	now := p.Now()
 	if s.cfg.Admission != nil && !c.admitOne(now, r, tr.Tenant) {
 		c.rejected++
 		s.recorder.Rejection(now)
@@ -123,8 +122,11 @@ func (c *controller) offer(p *sim.Proc, tr workload.TimedRequest) bool {
 		}
 		// The rejection is fully recorded (counters and the trace event
 		// copy values, not the pointer), so an arena-leased request can
-		// go straight back to its free list.
-		coe.Recycle(r)
+		// go straight back to its free list — unless the caller owns
+		// recycling and still holds the pointer.
+		if !s.cfg.ExternalRecycle {
+			coe.Recycle(r)
+		}
 		return false
 	}
 	r.Arrival = now
@@ -183,8 +185,12 @@ func (c *controller) onBatch(p *sim.Proc, r *coe.Request) {
 	}
 	// Last touch of the request: its completion is recorded, the trace
 	// event holds copies, the tenant entry is gone, and the delegate has
-	// observed it. An arena-leased request is now safe to reuse.
-	coe.Recycle(r)
+	// observed it. An arena-leased request is now safe to reuse — unless
+	// the delegate took ownership (ExternalRecycle) and recycles it
+	// after its own accounting.
+	if !s.cfg.ExternalRecycle {
+		coe.Recycle(r)
+	}
 	if c.closed && c.completed+c.dropped == c.admitted {
 		c.finish()
 	}
@@ -195,7 +201,9 @@ func (c *controller) onBatch(p *sim.Proc, r *coe.Request) {
 // redelivers it to another node. The request is recycled (the voiding
 // dispatcher copied what it needs before the crash was applied) and the
 // stream can still finish exactly: completed + dropped == admitted.
-func (c *controller) drop(p *sim.Proc, r *coe.Request) {
+// Under ExternalRecycle the request instead goes back to the owning
+// delegate through its DropDelegate hook.
+func (c *controller) drop(now sim.Time, r *coe.Request) {
 	s := c.sys
 	c.dropped++
 	if _, ok := c.tenantOf[r.ID]; ok {
@@ -203,10 +211,16 @@ func (c *controller) drop(p *sim.Proc, r *coe.Request) {
 	}
 	if s.cfg.Trace != nil {
 		s.cfg.Trace.Add(trace.Event{
-			At: p.Now().Duration(), Kind: trace.KindDropped, Request: r.ID,
+			At: now.Duration(), Kind: trace.KindDropped, Request: r.ID,
 		})
 	}
-	coe.Recycle(r)
+	if s.cfg.ExternalRecycle {
+		if dd, ok := c.delegate.(DropDelegate); ok {
+			dd.RequestDropped(now, r)
+		}
+	} else {
+		coe.Recycle(r)
+	}
 	if c.closed && c.completed+c.dropped == c.admitted {
 		c.finish()
 	}

@@ -526,7 +526,7 @@ func (s *System) onBatch(p *sim.Proc, r *coe.Request) {
 // onVoid forwards crash-voided batch requests to the controller's drop
 // path: accounted, recycled, never acked.
 func (s *System) onVoid(p *sim.Proc, r *coe.Request) {
-	s.ctrl.drop(p, r)
+	s.ctrl.drop(p.Now(), r)
 }
 
 // Serve runs one request stream to completion and returns its report.
@@ -651,6 +651,16 @@ type StreamDelegate interface {
 	RequestDone(p *sim.Proc, r *coe.Request)
 }
 
+// DropDelegate is the optional companion of StreamDelegate under
+// Config.ExternalRecycle: when a crash voids an admitted request, the
+// node's accounting strikes it as usual and then hands the request
+// object back through RequestDropped instead of recycling it, so the
+// owning layer can return it to its arena after its own lease
+// bookkeeping.
+type DropDelegate interface {
+	RequestDropped(now sim.Time, r *coe.Request)
+}
+
 // JoinStream arms a joined system (NewSystemInEnv) for one externally
 // fed stream named stream: per-stream statistics are reset (the env
 // owner re-arms the shared env itself), the executors are launched into
@@ -692,13 +702,21 @@ func (namedStream) Next() (workload.TimedRequest, bool) { return workload.TimedR
 // only be called between JoinStream and CloseStream, from a process of
 // the shared env.
 func (s *System) Offer(p *sim.Proc, tr workload.TimedRequest) (Lease, bool) {
+	return s.OfferAt(p.Now(), tr)
+}
+
+// OfferAt is Offer from event-callback context: the caller names the
+// current virtual time explicitly instead of passing a process. The
+// sharded cluster kernel delivers offers into a node's partition as
+// timed events, which run on the kernel rather than in a process.
+func (s *System) OfferAt(now sim.Time, tr workload.TimedRequest) (Lease, bool) {
 	if s.state != NodeUp {
 		return Lease{}, false
 	}
-	if !s.ctrl.offer(p, tr) {
+	if !s.ctrl.offer(now, tr) {
 		return Lease{}, false
 	}
-	return Lease{Request: tr.Req.ID, Node: s.cfg.ID, Issued: p.Now()}, true
+	return Lease{Request: tr.Req.ID, Node: s.cfg.ID, Issued: now}, true
 }
 
 // CloseStream marks a joined stream's arrival process exhausted: once

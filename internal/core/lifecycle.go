@@ -101,6 +101,14 @@ func (s *System) Resume() {
 // the number of requests dropped from the queues (in-flight batches
 // surface as drops later, when their virtual execution unwinds).
 func (s *System) Crash(p *sim.Proc) int {
+	return s.CrashAt(p.Now())
+}
+
+// CrashAt is Crash from event-callback context, naming the current
+// virtual time explicitly — the entry point for crash verbs delivered
+// into a node's partition as timed events by the sharded cluster
+// kernel.
+func (s *System) CrashAt(now sim.Time) int {
 	if s.state == NodeDown {
 		return 0
 	}
@@ -116,7 +124,7 @@ func (s *System) Crash(p *sim.Proc) int {
 	n := 0
 	for _, q := range s.queues {
 		for _, r := range q.Purge() {
-			s.ctrl.drop(p, r)
+			s.ctrl.drop(now, r)
 			n++
 		}
 	}

@@ -6,10 +6,10 @@ import (
 )
 
 func TestExtensionRegistryIncluded(t *testing.T) {
-	if len(All()) != len(Registry())+11 {
-		t.Errorf("All() = %d entries, want %d", len(All()), len(Registry())+11)
+	if len(All()) != len(Registry())+12 {
+		t.Errorf("All() = %d entries, want %d", len(All()), len(Registry())+12)
 	}
-	for _, id := range []string{"ext-evict", "ext-ssd", "ext-arrival", "serve-load", "serve-warm", "serve-mix", "serve-overload", "serve-cluster", "serve-fleet", "serve-chaos", "serve-grayfail"} {
+	for _, id := range []string{"ext-evict", "ext-ssd", "ext-arrival", "serve-load", "serve-warm", "serve-mix", "serve-overload", "serve-cluster", "serve-fleet", "serve-chaos", "serve-grayfail", "serve-shard"} {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("extension %s not registered: %v", id, err)
 		}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Sharded is a conservatively synchronized parallel composition of
+// simulation environments: one coordinator partition (index 0) plus N
+// worker partitions (indices 1..N), each a full *Env with its own
+// clock, heap, and processes. The partitions exchange events only
+// through Post, and the kernel interleaves them under the classic
+// conservative (CMB-style) contract:
+//
+//   - The coordinator runs one event at a time, and only when its next
+//     event is no later than every worker partition's next event. While
+//     it runs, every worker partition is strictly behind it, so the
+//     coordinator may read worker-partition state directly and may Post
+//     events into worker partitions at any delay >= 0.
+//   - Worker partitions run in parallel rounds up to a shared exclusive
+//     window bound W = min(coordinator next, workers' next + lookahead).
+//     Inside a round a partition sees only its own state; anything it
+//     sends to another partition must arrive at least lookahead after
+//     its local now, which keeps the round's partitions causally
+//     independent and makes the merge order below well defined.
+//
+// Cross-partition events posted during a round buffer in per-partition
+// outboxes and merge at the round barrier in (time, source partition,
+// post order) order, each assigned the target's next sequence numbers
+// in that order. The phase structure — which events run in which round —
+// is a pure function of event timestamps and lookahead, never of the
+// worker count, so a Sharded simulation produces byte-identical results
+// at every Workers setting, including Workers(1).
+type Sharded struct {
+	parts     []*Env
+	lookahead Time
+	pool      *runner.Pool
+	workers   int
+
+	nodePhase bool  // set for the duration of a worker-partition round
+	active    []int // scratch: partition indices running this round
+	merged    []outPost
+}
+
+// outPost is one cross-partition event buffered in a partition outbox.
+type outPost struct {
+	target int
+	at     Time
+	fn     func()
+}
+
+// NewSharded builds a sharded kernel with nparts partitions (partition
+// 0 is the coordinator) synchronized under the given lookahead, running
+// worker-partition rounds on up to workers goroutines (workers <= 0
+// means GOMAXPROCS, workers == 1 runs rounds sequentially).
+func NewSharded(nparts, workers int, lookahead time.Duration) *Sharded {
+	if nparts < 2 {
+		panic("sim: NewSharded needs a coordinator plus at least one worker partition")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewSharded needs a positive lookahead")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Sharded{lookahead: Time(lookahead)}
+	s.parts = make([]*Env, nparts)
+	for i := range s.parts {
+		e := NewEnv()
+		e.shard, e.shardIdx = s, i
+		s.parts[i] = e
+	}
+	if workers > 1 {
+		s.pool = runner.New(workers)
+	}
+	s.workers = workers
+	return s
+}
+
+// Part returns partition i's environment. Partition 0 is the
+// coordinator.
+func (s *Sharded) Part(i int) *Env { return s.parts[i] }
+
+// Parts reports the partition count, coordinator included.
+func (s *Sharded) Parts() int { return len(s.parts) }
+
+// Lookahead reports the conservative synchronization horizon.
+func (s *Sharded) Lookahead() time.Duration { return time.Duration(s.lookahead) }
+
+// Workers reports the configured worker bound for partition rounds.
+func (s *Sharded) Workers() int {
+	if s.pool != nil {
+		return s.pool.Workers()
+	}
+	return 1
+}
+
+// Post schedules fn at time at in partition target, from code running
+// in partition from. From the coordinator (or between rounds) the event
+// is inserted directly — the target partition is provably at an earlier
+// clock, so any at >= the poster's now is legal. From a worker
+// partition inside a round the event buffers in the partition's outbox
+// and must respect the lookahead contract: at >= from.Now() + lookahead.
+func (s *Sharded) Post(from *Env, target int, at Time, fn func()) {
+	if from.shard != s {
+		panic("sim: Post from an environment outside this Sharded kernel")
+	}
+	if s.nodePhase && from.shardIdx > 0 {
+		if at < from.now+s.lookahead {
+			panic(fmt.Sprintf("sim: cross-partition post at %v violates lookahead (now %v + %v)",
+				at, from.now, time.Duration(s.lookahead)))
+		}
+		from.outbox = append(from.outbox, outPost{target: target, at: at, fn: fn})
+		return
+	}
+	s.parts[target].schedule(at, fn)
+}
+
+// Run executes all partitions to completion and returns the
+// coordinator's final clock value. Like Env.Run it drains every
+// partition afterwards, so no process goroutines are left behind.
+func (s *Sharded) Run() Time {
+	for _, e := range s.parts {
+		if e.running {
+			panic("sim: Run called re-entrantly")
+		}
+		e.running = true
+	}
+	for {
+		tc, cok := s.parts[0].peekNext()
+		tn := Time(math.MaxInt64)
+		nok := false
+		for _, e := range s.parts[1:] {
+			if t, ok := e.peekNext(); ok && t < tn {
+				tn, nok = t, true
+			}
+		}
+		switch {
+		case !cok && !nok:
+			for _, e := range s.parts {
+				e.running = false
+			}
+			for _, e := range s.parts {
+				e.drain()
+			}
+			return s.parts[0].now
+		case cok && (!nok || tc <= tn):
+			// Coordinator phase: every worker partition's clock is behind
+			// tc and holds no event earlier than tc, so this one event may
+			// read their state and post into them freely.
+			s.parts[0].step()
+		default:
+			w := tn + s.lookahead
+			if cok && tc < w {
+				w = tc
+			}
+			s.runRound(w)
+		}
+	}
+}
+
+// runRound executes every worker partition with an event before w up to
+// (exclusive) w, in parallel, then merges the round's cross-partition
+// posts at the barrier.
+func (s *Sharded) runRound(w Time) {
+	s.active = s.active[:0]
+	for i, e := range s.parts[1:] {
+		if t, ok := e.peekNext(); ok && t < w {
+			s.active = append(s.active, 1+i)
+		}
+	}
+	s.nodePhase = true
+	if s.pool == nil || len(s.active) == 1 {
+		for _, i := range s.active {
+			s.parts[i].runBefore(w)
+		}
+	} else {
+		// The blessed shard-barrier seam: partitions share no state
+		// during a round, and runner.Map's WaitGroup join orders every
+		// partition's writes before the merge below.
+		if _, err := runner.Map(s.pool, len(s.active), func(j int) (struct{}, error) {
+			s.parts[s.active[j]].runBefore(w)
+			return struct{}{}, nil
+		}); err != nil {
+			panic(err)
+		}
+	}
+	s.nodePhase = false
+	s.merge()
+}
+
+// merge drains the round's outboxes into their target partitions in
+// (time, source partition, post order) order — the deterministic global
+// order the sequential kernel would have produced.
+func (s *Sharded) merge() {
+	s.merged = s.merged[:0]
+	for _, i := range s.active {
+		e := s.parts[i]
+		s.merged = append(s.merged, e.outbox...)
+		for j := range e.outbox {
+			e.outbox[j].fn = nil
+		}
+		e.outbox = e.outbox[:0]
+	}
+	if len(s.merged) == 0 {
+		return
+	}
+	// Outboxes were appended in ascending source-partition order with
+	// per-source post order preserved, so a stable sort by time alone
+	// yields (time, source partition, post order).
+	sort.SliceStable(s.merged, func(a, b int) bool { return s.merged[a].at < s.merged[b].at })
+	for i := range s.merged {
+		p := &s.merged[i]
+		s.parts[p.target].schedule(p.at, p.fn)
+		p.fn = nil
+	}
+}
+
+// Reopen re-arms every drained partition for another round of
+// processes — the warm-restart hook, mirroring Env.Reopen.
+func (s *Sharded) Reopen() {
+	for _, e := range s.parts {
+		e.Reopen()
+	}
+}
+
+// peekNext reports the timestamp of e's earliest pending event.
+func (e *Env) peekNext() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// step fires e's earliest pending event. The caller guarantees the heap
+// is non-empty.
+func (e *Env) step() {
+	e.dispatch(e.popEvent())
+}
+
+// runBefore fires every pending event with a timestamp strictly before
+// w, leaving later events queued and the clock at the last fired event.
+func (e *Env) runBefore(w Time) {
+	for len(e.events) > 0 && e.events[0].at < w {
+		e.dispatch(e.popEvent())
+	}
+}

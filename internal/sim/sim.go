@@ -113,6 +113,12 @@ type Env struct {
 	// free is the event free list; fired and cancelled events are
 	// recycled here so steady-state scheduling allocates nothing.
 	free *event
+
+	// shard/shardIdx bind the environment to a Sharded kernel partition;
+	// outbox buffers its cross-partition posts during a partition round.
+	shard    *Sharded
+	shardIdx int
+	outbox   []outPost
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -217,6 +223,11 @@ func (e *Env) Cancel(t Timer) bool {
 	return true
 }
 
+// popEvent removes and returns the earliest pending event.
+func (e *Env) popEvent() *event {
+	return heap.Pop(&e.events).(*event)
+}
+
 // dispatch fires one popped event: wake events resume their process, and
 // callback events run inline with no goroutine handoff. The event is
 // recycled before firing so the handler can immediately reuse it.
@@ -242,7 +253,7 @@ func (e *Env) Run() Time {
 	}
 	e.running = true
 	for len(e.events) > 0 {
-		e.dispatch(heap.Pop(&e.events).(*event))
+		e.dispatch(e.popEvent())
 	}
 	e.running = false
 	e.drain()
@@ -258,7 +269,7 @@ func (e *Env) RunUntil(deadline Time) Time {
 	}
 	e.running = true
 	for len(e.events) > 0 && e.events[0].at <= deadline {
-		e.dispatch(heap.Pop(&e.events).(*event))
+		e.dispatch(e.popEvent())
 	}
 	e.running = false
 	if len(e.events) > 0 && e.now < deadline {
@@ -340,6 +351,7 @@ func (e *Env) Go(name string, fn func(*Proc)) *Proc {
 
 // start launches the process goroutine and waits for it to park or end.
 func (e *Env) start(p *Proc, fn func(*Proc)) {
+	//detlint:allow the one process-launch point of the kernel: the goroutine immediately synchronizes on the yield channel, so exactly one process runs at a time
 	go func() {
 		defer func() {
 			p.done = true
