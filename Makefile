@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check detlint ci bench race chaos-determinism grayfail-determinism shard-determinism bench-experiments bench-cluster bench-fleet bench-chaos cover
+.PHONY: all build test vet fmt-check detlint ci bench race chaos-determinism grayfail-determinism shard-determinism bench-experiments bench-cluster bench-fleet bench-chaos bench-shard cover
 
 all: build
 
@@ -40,7 +40,7 @@ cover:
 
 # race runs the whole test suite under the race detector: the parallel
 # run engine (internal/runner, the experiments fan-out) and the sharded
-# event kernel (sim.Sharded's worker pool) must stay clean here. The
+# event kernel (sim.Sharded's persistent crew) must stay clean here. The
 # chaos, grayfail, and shard determinism checks ride along, with their
 # -race legs exercising the crash/redeliver, breaker/hedge, and
 # parallel-partition paths under the detector.
@@ -80,19 +80,23 @@ grayfail-determinism:
 # shard-determinism pins the parallel kernel's guarantee: experiment
 # output is byte-identical at every -shards setting. serve-shard (the
 # fleet over a non-zero interconnect — the config that engages the
-# sharded kernel) renders at -shards 1, 2, and GOMAXPROCS (-shards 0)
-# plus once more under -race; serve-fleet and serve-chaos render at
-# -shards 1 and GOMAXPROCS to pin that the flag leaves zero-latency
-# configs untouched. All outputs are diffed byte-for-byte against the
-# sequential run.
+# sharded kernel and its pooled cross-partition messages) renders at
+# -shards 1, 2, 3, and GOMAXPROCS (-shards 0) plus once more under
+# -race; serve-fleet and serve-chaos render at -shards 1 and GOMAXPROCS
+# to pin that the flag leaves zero-latency configs untouched. All
+# outputs are diffed byte-for-byte against the sequential run. The odd
+# worker count (-shards 3) splits the 101 partitions unevenly, so the
+# crew's round barrier and the outbox merge see ragged rounds.
 shard-determinism:
 	@tmp=$$(mktemp -d); \
 	trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/coserve experiment -shards 1 serve-shard | sed '/experiment(s) regenerated in/d' > "$$tmp/shard1" || exit 1; \
 	$(GO) run ./cmd/coserve experiment -shards 2 serve-shard | sed '/experiment(s) regenerated in/d' > "$$tmp/shard2" || exit 1; \
+	$(GO) run ./cmd/coserve experiment -shards 3 serve-shard | sed '/experiment(s) regenerated in/d' > "$$tmp/shard3" || exit 1; \
 	$(GO) run ./cmd/coserve experiment -shards 0 serve-shard | sed '/experiment(s) regenerated in/d' > "$$tmp/shardN" || exit 1; \
 	$(GO) run -race ./cmd/coserve experiment -shards 0 serve-shard | sed '/experiment(s) regenerated in/d' > "$$tmp/shardR" || exit 1; \
 	cmp "$$tmp/shard1" "$$tmp/shard2" || { echo "shard-determinism: serve-shard differs between -shards 1 and 2"; exit 1; }; \
+	cmp "$$tmp/shard1" "$$tmp/shard3" || { echo "shard-determinism: serve-shard differs between -shards 1 and 3"; exit 1; }; \
 	cmp "$$tmp/shard1" "$$tmp/shardN" || { echo "shard-determinism: serve-shard differs between -shards 1 and GOMAXPROCS"; exit 1; }; \
 	cmp "$$tmp/shard1" "$$tmp/shardR" || { echo "shard-determinism: serve-shard differs under -race"; exit 1; }; \
 	$(GO) run ./cmd/coserve experiment -shards 1 serve-fleet | sed '/experiment(s) regenerated in/d' > "$$tmp/fleet1" || exit 1; \
@@ -101,17 +105,16 @@ shard-determinism:
 	$(GO) run ./cmd/coserve experiment -shards 1 serve-chaos | sed '/experiment(s) regenerated in/d' > "$$tmp/chaos1" || exit 1; \
 	$(GO) run ./cmd/coserve experiment -shards 0 serve-chaos | sed '/experiment(s) regenerated in/d' > "$$tmp/chaosN" || exit 1; \
 	cmp "$$tmp/chaos1" "$$tmp/chaosN" || { echo "shard-determinism: serve-chaos (zero-latency) differs across -shards"; exit 1; }; \
-	echo "shard-determinism: OK — serve-shard byte-identical at shards 1/2/GOMAXPROCS and under -race; zero-latency experiments untouched by -shards"
+	echo "shard-determinism: OK — serve-shard byte-identical at shards 1/2/3/GOMAXPROCS and under -race; zero-latency experiments untouched by -shards"
 
 # bench compiles and executes every benchmark exactly once (no test
 # functions), so the benchmark harness cannot rot, and pipes the output
-# through benchguard, which fails loudly if BenchmarkFleetServe or
-# BenchmarkChaosServe regress past their recorded baselines
-# (BENCH_fleet.json, BENCH_chaos.json) in allocs/op or bytes/op.
-# Compare against the recorded baseline in BENCH_kernel.json before
-# merging kernel or scheduler changes.
+# through benchguard, which fails loudly if any benchmark baselined in
+# BENCH_fleet.json, BENCH_chaos.json, or BENCH_kernel.json regresses
+# past its recorded allocs/op or bytes/op. Wall time is advisory: an
+# ns_factor breach prints a WARN line but never fails the run.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' ./... | $(GO) run ./cmd/benchguard -baseline BENCH_fleet.json -baseline BENCH_chaos.json
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./... | $(GO) run ./cmd/benchguard -baseline BENCH_fleet.json -baseline BENCH_chaos.json -baseline BENCH_kernel.json
 
 # bench-experiments reproduces the BENCH_experiments.json measurement:
 # the full experiment registry, sequential vs all cores.
@@ -141,3 +144,12 @@ bench-fleet:
 # target is the recorded baseline's regeneration recipe.
 bench-chaos:
 	$(GO) test -bench BenchmarkChaosServe -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_chaos.json
+
+# bench-shard reproduces (and gates) the BENCH_kernel.json measurement:
+# the classic event loop, the single-node serve loop, the scheduler
+# inner loop, and the sharded kernel's pooled-message hot path in
+# isolation (BenchmarkShardedKernel). `make bench` (and the CI bench
+# job) already executes these once; this target is the recorded
+# baseline's regeneration recipe.
+bench-shard:
+	$(GO) test -bench 'BenchmarkSimKernel|BenchmarkPoissonServe$$|BenchmarkMinMaxAssign|BenchmarkShardedKernel' -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchguard -baseline BENCH_kernel.json

@@ -516,10 +516,11 @@ func BenchmarkFleetServe(b *testing.B) {
 	// kernel sequentially (the barrier and offer/fold protocol with no
 	// parallelism to pay for them); shards=4 is the wall-clock scaling
 	// row — compare its ns/op against shards=1 on a multi-core machine.
-	// Unlike the zero-latency rows these are not allocation-free per
-	// request: every offer and completion ack crossing the wire is a
-	// timed event (a closure on a partition heap), which is the modeled
-	// cost of distribution, not a regression of the synchronous path.
+	// Every offer and completion ack crossing the wire is a pooled typed
+	// message recycling through per-partition free lists, so the rows
+	// land within a few percent of the classic kernel's allocations —
+	// what remains above it is the lease ledger and the extra timed
+	// events, the modeled cost of distribution.
 	ic := coserve.Interconnect{
 		Dispatch:   100 * time.Microsecond,
 		IntraBoard: 50 * time.Microsecond,
@@ -530,6 +531,102 @@ func BenchmarkFleetServe(b *testing.B) {
 		shards := shards
 		b.Run(fmt.Sprintf("nodes=%d/requests=%d/shards=%d", fleetNodes, 100_000, shards), func(b *testing.B) {
 			run(b, 100_000, ic, shards)
+		})
+	}
+}
+
+// echoHarness is BenchmarkShardedKernel's workload: pooled messages
+// ping-ponging between worker partitions, exercising exactly the
+// kernel hot path — frontier-indexed round scheduling, coordinator
+// batch stepping, outbox merges, and per-partition message free lists —
+// with no cluster, routing, or node model on top.
+type echoHarness struct {
+	s     *sim.Sharded
+	la    time.Duration
+	free  []*echoMsg
+	count []int // per-partition deliveries; summed only after Run
+}
+
+type echoMsg struct {
+	h    *echoHarness
+	from int // posting partition: the pong target
+	part int // delivery partition
+	hops int // remaining round trips
+	next *echoMsg
+}
+
+func (h *echoHarness) newMsg(part int) *echoMsg {
+	m := h.free[part]
+	if m == nil {
+		return &echoMsg{h: h}
+	}
+	h.free[part] = m.next
+	m.next = nil
+	return m
+}
+
+// Deliver implements sim.Message: count the hop, recycle the carrier,
+// and pong back with a deterministic per-hop delay spread so rounds
+// overlap different partition subsets.
+func (m *echoMsg) Deliver(at sim.Time) {
+	h := m.h
+	from, part, hops := m.from, m.part, m.hops
+	env := h.s.Part(part)
+	src := h.s.PosterPartition(env)
+	m.next = h.free[src]
+	h.free[src] = m
+	h.count[part]++
+	if hops == 0 {
+		return
+	}
+	nm := h.newMsg(src)
+	nm.from, nm.part, nm.hops = part, from, hops-1
+	jitter := time.Duration((hops*31+part*17)%97) * time.Microsecond
+	h.s.PostMsg(env, from, at.Add(h.la+jitter), nm)
+}
+
+// BenchmarkShardedKernel prices the sharded kernel alone: parts-1
+// worker partitions exchanging pooled echo messages under conservative
+// lookahead. workers=1 runs rounds inline (pure kernel overhead);
+// workers=4 adds the crew barrier. Allocations are the regression gate
+// (BENCH_kernel.json via `make bench-shard`): the message pool and the
+// persistent crew hold the whole run to a near-constant alloc count
+// regardless of hop volume.
+func BenchmarkShardedKernel(b *testing.B) {
+	const (
+		parts  = 9
+		chains = 32
+		hops   = 512
+		la     = 500 * time.Microsecond
+	)
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("parts=%d/workers=%d", parts, workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := &echoHarness{
+					s:     sim.NewSharded(parts, workers, la),
+					la:    la,
+					free:  make([]*echoMsg, parts),
+					count: make([]int, parts),
+				}
+				coord := h.s.Part(0)
+				for c := 0; c < chains; c++ {
+					m := h.newMsg(0)
+					m.from = 1 + c%(parts-1)
+					m.part = 1 + (c*5+3)%(parts-1)
+					m.hops = hops
+					h.s.PostMsg(coord, m.part, sim.Time(0).Add(time.Duration(c)*137*time.Microsecond), m)
+				}
+				h.s.Run()
+				total := 0
+				for _, n := range h.count {
+					total += n
+				}
+				if want := chains * (hops + 1); total != want {
+					b.Fatalf("delivered %d messages, want %d", total, want)
+				}
+			}
 		})
 	}
 }

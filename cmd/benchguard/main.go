@@ -42,11 +42,19 @@ type baseline struct {
 		// (1.25 for allocs, 1.5 for bytes).
 		AllocsFactor float64 `json:"allocs_factor"`
 		BytesFactor  float64 `json:"bytes_factor"`
+		// NsFactor is advisory: when set, a benchmark whose ns/op
+		// exceeds recorded × NsFactor gets a "benchguard: WARN" line in
+		// the output, but the guard still exits 0 — wall time varies
+		// too much across machines to gate on.
+		NsFactor float64 `json:"ns_factor"`
 	} `json:"guard"`
 	Results map[string]struct {
 		NsPerOp     float64 `json:"ns_per_op"`
 		BytesPerOp  float64 `json:"bytes_per_op"`
 		AllocsPerOp float64 `json:"allocs_per_op"`
+		// NsFactor overrides the file-level advisory threshold for this
+		// one benchmark (e.g. a noisier multi-worker row).
+		NsFactor float64 `json:"ns_factor"`
 	} `json:"results"`
 }
 
@@ -63,6 +71,7 @@ type guardedBench struct {
 	allocsPerOp  float64
 	allocsFactor float64
 	bytesFactor  float64
+	nsFactor     float64 // 0: no advisory wall-time threshold
 }
 
 func main() {
@@ -102,10 +111,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "benchguard: %s baselined by both %s and %s\n", name, prev.file, path)
 				os.Exit(2)
 			}
+			nsFactor := base.Guard.NsFactor
+			if rec.NsFactor != 0 {
+				nsFactor = rec.NsFactor
+			}
 			guarded[name] = guardedBench{
 				file:    path,
 				nsPerOp: rec.NsPerOp, bytesPerOp: rec.BytesPerOp, allocsPerOp: rec.AllocsPerOp,
-				allocsFactor: allocsFactor, bytesFactor: bytesFactor,
+				allocsFactor: allocsFactor, bytesFactor: bytesFactor, nsFactor: nsFactor,
 			}
 		}
 	}
@@ -145,10 +158,17 @@ func main() {
 		// Wall time is never gated — it varies with the machine — but the
 		// observed-vs-baseline ratio surfaces speedups and regressions in
 		// CI logs (e.g. the sharded kernel's scaling, or a serializing
-		// change sneaking into the hot path).
+		// change sneaking into the hot path). When the baseline sets an
+		// ns_factor, blowing past it upgrades the line to a WARN so a
+		// wall-time cliff stands out in the log — still exit 0.
 		if rec.nsPerOp > 0 {
-			fmt.Printf("benchguard: %s ns/op %.0f vs baseline %.0f — %s wall time (informational, not gated)\n",
-				name, metrics["ns/op"], rec.nsPerOp, ratio(metrics["ns/op"], rec.nsPerOp))
+			if limit := rec.nsPerOp * rec.nsFactor; rec.nsFactor > 0 && metrics["ns/op"] > limit {
+				fmt.Printf("benchguard: WARN: %s ns/op %.0f vs baseline %.0f — %s observed > ×%.2f advisory (not gated)\n",
+					name, metrics["ns/op"], rec.nsPerOp, ratio(metrics["ns/op"], rec.nsPerOp), rec.nsFactor)
+			} else {
+				fmt.Printf("benchguard: %s ns/op %.0f vs baseline %.0f — %s wall time (informational, not gated)\n",
+					name, metrics["ns/op"], rec.nsPerOp, ratio(metrics["ns/op"], rec.nsPerOp))
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -89,9 +89,9 @@ var randConstructors = map[string]bool{
 // deterministic kernel (internal/sim) or runs entirely inside it
 // (internal/cluster). There, concurrency is not merely a hazard to an
 // output path — any goroutine or lock off the blessed shard-barrier
-// seam (the runner pool inside sim.Sharded, where a barrier reimposes
-// deterministic order) destroys the byte-identical-at-any-worker-count
-// contract directly.
+// seam (the persistent runner.Crew inside sim.Sharded, whose round
+// barrier reimposes deterministic order) destroys the
+// byte-identical-at-any-worker-count contract directly.
 func kernelDir(path string) bool {
 	dir := filepath.ToSlash(filepath.Dir(path))
 	return strings.HasSuffix(dir, "internal/sim") || strings.HasSuffix(dir, "internal/cluster")
@@ -141,7 +141,7 @@ func lintFile(fset *token.FileSet, f *ast.File, info *types.Info) []string {
 		switch n := n.(type) {
 		case *ast.GoStmt:
 			if kernel {
-				report(n.Pos(), "goroutine launched inside the deterministic kernel (internal/sim, internal/cluster); parallelism must flow through the shard-barrier seam (sim.Sharded's runner pool), where a barrier re-imposes deterministic event order")
+				report(n.Pos(), "goroutine launched inside the deterministic kernel (internal/sim, internal/cluster); parallelism must flow through the shard-barrier seam (sim.Sharded's persistent runner.Crew), where the round barrier re-imposes deterministic event order")
 			}
 		case *ast.SelectorExpr:
 			if !kernel {

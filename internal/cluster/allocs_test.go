@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/coe"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestShardedSteadyStateAllocsPin pins the sharded hot path's
+// allocation discipline: once the message pool, lease pool, arena, and
+// sketches are warm, a full stream of offer → accept fold → completion
+// fold round trips across the interconnect must stay within a small
+// per-request allocation budget. A leak in any pool — messages drifting
+// between partition free lists, leases never released, requests not
+// recycled — shows up here as a per-request slope, not a constant.
+func TestShardedSteadyStateAllocsPin(t *testing.T) {
+	board := boardFor(t, workload.BoardA())
+	arena := coe.NewArena()
+	cfg := shardConfig(t, 1, nil, HealthConfig{}, HedgeConfig{})
+	cfg.Arena = arena
+	cfg.Percentiles = core.PercentilesSketch
+	for i := range cfg.Nodes {
+		cfg.Nodes[i].DisablePicks = true
+	}
+	c := buildCluster(t, cfg, board.Model)
+
+	const n = 2000
+	seed := int64(1)
+	stream := func() workload.Source {
+		src, err := workload.Poisson{
+			Name: "allocs-pin", Board: board, Rate: 120, N: n, Seed: seed, Arena: arena,
+		}.NewSource()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed++
+		return src
+	}
+
+	// Warm everything: the first stream grows the arena to the in-flight
+	// peak, stocks the per-partition message lists and the lease free
+	// list, and sizes the recorder sketches.
+	if _, err := c.Serve(stream()); err != nil {
+		t.Fatal(err)
+	}
+
+	avg := testing.AllocsPerRun(2, func() {
+		if _, err := c.Serve(stream()); err != nil {
+			t.Error(err)
+		}
+	})
+	// The interconnect path itself — pooled messages, pooled leases —
+	// contributes ~0 here; the budget covers what remains: per-stream
+	// fixed overhead (fresh chaosState maps, recorder reset, source
+	// construction, lease pool re-warming to the in-flight peak) and
+	// node-internal expert-cache eviction churn at under one allocation
+	// per request. The closure-era kernel's ~10 allocs/request blows
+	// through the bound seven-fold, so any message- or lease-pool leak
+	// fails loudly.
+	perReq := avg / n
+	t.Logf("allocs: %.0f total, %.3f per request", avg, perReq)
+	if perReq > 1.5 {
+		t.Errorf("steady-state sharded serve allocates %.3f per request (%.0f total for %d), want <= 1.5",
+			perReq, avg, n)
+	}
+}

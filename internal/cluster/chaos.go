@@ -36,6 +36,12 @@ type chaosState struct {
 	pending     []*lease
 	pendingPeak int
 
+	// freeLease heads the lease free list: resolved leases recycle here
+	// (chain capacity retained) so the sharded hot path's per-request
+	// allocations stay at the request object and its chain, nothing
+	// else. Release is gated on aliasing: see resolveLease.
+	freeLease *lease
+
 	srcClosed bool
 
 	// Exactly-once accounting: at every fault boundary,
@@ -106,6 +112,8 @@ type lease struct {
 	timer         sim.Timer
 	timerSet      bool
 	retries       int
+
+	nextFree *lease // free-list link, meaningful only while released
 }
 
 func newChaosState(nodes int, arena *coe.Arena) *chaosState {
@@ -117,19 +125,65 @@ func newChaosState(nodes int, arena *coe.Arena) *chaosState {
 	}
 }
 
+// newLease draws a lease from the free list (chain capacity retained,
+// every other field zero) or allocates one.
+func (cs *chaosState) newLease() *lease {
+	l := cs.freeLease
+	if l == nil {
+		return &lease{}
+	}
+	cs.freeLease = l.nextFree
+	l.nextFree = nil
+	return l
+}
+
+// releaseLease returns a lease to the free list, zeroing everything but
+// the chain's backing array. Callers must go through resolveLease or
+// releaseIfResolved — releasing a lease something still points at would
+// let a recycled lease spuriously satisfy a ledger identity check.
+func (cs *chaosState) releaseLease(l *lease) {
+	chain := l.chain[:0]
+	*l = lease{chain: chain, nextFree: cs.freeLease}
+	cs.freeLease = l
+}
+
+// resolveLease retires a lease that just went terminal — completed,
+// terminally rejected, or redelivery-rejected — and recycles it unless
+// a hedge offer on the wire still aliases it. That offer's fold is then
+// the release point (releaseIfResolved); a lease whose fold cannot
+// release it (voided again meanwhile, node < 0) leaks until the stream's
+// chaosState is dropped — rare, bounded, and strictly safer than a
+// false-positive ledger match on a recycled lease.
+func (cs *chaosState) resolveLease(l *lease) {
+	if l.hedgeInFlight {
+		return
+	}
+	cs.releaseLease(l)
+}
+
+// releaseIfResolved is the hedge-fold release point: the fold just
+// cleared hedgeInFlight and found the lease no longer its ledger entry.
+// node >= 0 distinguishes a lease that went terminal while the hedge
+// flew (safe to recycle — nothing else references it) from one that was
+// voided into a redelivery (still live in pending or on the wire).
+func (cs *chaosState) releaseIfResolved(l *lease) {
+	if cs.ledger[l.id] != l && l.node >= 0 {
+		cs.releaseLease(l)
+	}
+}
+
 // open records a fresh admission: a new lease on the admitting node,
 // with the chain copied out of the live request.
 func (cs *chaosState) open(idx int, receipt core.Lease, tr workload.TimedRequest, now sim.Time) *lease {
-	l := &lease{
-		id:         tr.Req.ID,
-		class:      tr.Req.Class,
-		tenant:     tr.Tenant,
-		chain:      append(make([]coe.ExpertID, 0, len(tr.Req.Chain)), tr.Req.Chain...),
-		node:       idx,
-		hasArrival: true,
-		arrival:    receipt.Issued,
-		hedgeNode:  -1,
-	}
+	l := cs.newLease()
+	l.id = tr.Req.ID
+	l.class = tr.Req.Class
+	l.tenant = tr.Tenant
+	l.chain = append(l.chain[:0], tr.Req.Chain...)
+	l.node = idx
+	l.hasArrival = true
+	l.arrival = receipt.Issued
+	l.hedgeNode = -1
 	cs.ledger[l.id] = l
 	cs.byNode[idx] = append(cs.byNode[idx], l.id)
 	return l
@@ -139,15 +193,14 @@ func (cs *chaosState) open(idx int, receipt core.Lease, tr workload.TimedRequest
 // holder, queued for delivery on the next recovery. The caller recycles
 // the request object afterwards — the lease owns its own chain copy.
 func (cs *chaosState) park(tr workload.TimedRequest, now sim.Time) {
-	l := &lease{
-		id:        tr.Req.ID,
-		class:     tr.Req.Class,
-		tenant:    tr.Tenant,
-		chain:     append(make([]coe.ExpertID, 0, len(tr.Req.Chain)), tr.Req.Chain...),
-		node:      -1,
-		voidedAt:  now,
-		hedgeNode: -1,
-	}
+	l := cs.newLease()
+	l.id = tr.Req.ID
+	l.class = tr.Req.Class
+	l.tenant = tr.Tenant
+	l.chain = append(l.chain[:0], tr.Req.Chain...)
+	l.node = -1
+	l.voidedAt = now
+	l.hedgeNode = -1
 	cs.pending = append(cs.pending, l)
 	if len(cs.pending) > cs.pendingPeak {
 		cs.pendingPeak = len(cs.pending)
@@ -381,6 +434,7 @@ func (c *Cluster) redeliverOne(p *sim.Proc, l *lease) bool {
 		} else {
 			c.recorder.Rejection(now)
 		}
+		cs.resolveLease(l)
 	}
 	return true
 }

@@ -168,6 +168,10 @@ type Cluster struct {
 	// node's one-way hop cost.
 	kernel  *sim.Sharded
 	latency []time.Duration
+	// msgFree holds per-partition free lists of pooled cross-partition
+	// messages (index 0 the coordinator, 1+i node i) — unsynchronized,
+	// each touched only by its partition's executing context.
+	msgFree []*shardMsg
 
 	runs    int
 	serving bool
@@ -238,6 +242,7 @@ func New(cfg Config, m *coe.Model) (*Cluster, error) {
 	if cfg.Interconnect.Enabled() {
 		c.kernel = sim.NewSharded(1+len(cfg.Nodes), cfg.Shards, cfg.Interconnect.Lookahead(len(cfg.Nodes)))
 		c.env = c.kernel.Part(0)
+		c.msgFree = make([]*shardMsg, 1+len(cfg.Nodes))
 		c.latency = make([]time.Duration, len(cfg.Nodes))
 		for i := range c.latency {
 			c.latency[i] = cfg.Interconnect.NodeLatency(i)
@@ -718,6 +723,7 @@ func (c *Cluster) requestDone(p *sim.Proc, idx int, r *coe.Request) {
 				cs.failoverMax = d
 			}
 		}
+		cs.resolveLease(l)
 		if c.draining > 0 {
 			c.checkDrains(now)
 		}

@@ -35,6 +35,15 @@ import (
 // state directly — the call is race-free and lands at the node's
 // current logical instant. Only the request path pays the modeled
 // interconnect hops.
+//
+// Every hop is a pooled shardMsg — one typed union covering the whole
+// protocol (offers out; accept/reject/bounce/completion/recycle folds
+// back) — drawn from per-partition free lists via sim.PosterPartition
+// and released into the delivering partition's list, so the
+// steady-state offer→accept→completion cycle allocates nothing: the
+// offer's message is freed into the node's list and immediately reused
+// for the fold, the fold's into the coordinator's and reused for the
+// next offer.
 type offerKind int
 
 const (
@@ -47,6 +56,104 @@ const (
 	offerHedge
 )
 
+// shardOp selects a shardMsg's handler — the cross-partition protocol's
+// full verb set.
+type shardOp uint8
+
+const (
+	opOffer      shardOp = iota // coordinator → node: deliver a request to admission
+	opAccept                    // node → coordinator: admission succeeded, receipt enclosed
+	opReject                    // node → coordinator: admission refused
+	opBounce                    // node → coordinator: node not Up, request unopened
+	opCompletion                // node → coordinator: request finished, ack the lease
+	opRecycle                   // node → coordinator: return a dropped request to the arena
+)
+
+// shardMsg is the pooled cross-partition event payload: one union for
+// every protocol hop, so a free list of them serves the entire
+// interconnect path. Fields beyond op are populated per-verb; receipt
+// only rides on opAccept.
+type shardMsg struct {
+	c       *Cluster
+	op      shardOp
+	kind    offerKind
+	idx     int // node index: offer target, or fold origin
+	r       *coe.Request
+	tenant  string
+	l       *lease
+	receipt core.Lease
+	next    *shardMsg // free-list link
+}
+
+// Deliver implements sim.Message: the kernel invokes it in the target
+// partition at the scheduled instant.
+func (m *shardMsg) Deliver(at sim.Time) { m.c.deliverMsg(m, at) }
+
+// newMsg draws a message from partition part's free list. part must be
+// the partition whose goroutine is executing (sim.PosterPartition) —
+// the lists are unsynchronized by design.
+func (c *Cluster) newMsg(part int) *shardMsg {
+	m := c.msgFree[part]
+	if m == nil {
+		return &shardMsg{c: c}
+	}
+	c.msgFree[part] = m.next
+	m.next = nil
+	return m
+}
+
+// freeMsg returns a delivered message to partition part's free list,
+// clearing payload pointers so the list pins nothing.
+func (c *Cluster) freeMsg(part int, m *shardMsg) {
+	m.r, m.l = nil, nil
+	m.tenant = ""
+	m.receipt = core.Lease{}
+	m.next = c.msgFree[part]
+	c.msgFree[part] = m
+}
+
+// deliverMsg unpacks and dispatches one protocol hop, freeing the
+// message before the handler runs so a handler that immediately posts
+// the next hop (nodeOffer folding the outcome back, a fold routing the
+// next offer) reuses the very message that carried this one.
+//
+// Which list a message frees into is what keeps every list in balance
+// over the steady offer → accept fold → completion fold cycle: the
+// node's list supplies two folds per request but receives only the
+// offer's carcass, and the coordinator's supplies one offer but
+// receives two carcasses. So the offer frees into its node's list (the
+// only safe choice mid-round anyway), the admission folds
+// (accept/reject/bounce) free into the coordinator's — restocking the
+// next offer — and the completion fold returns to its origin node's
+// list, closing the loop at zero net drift. Folds run as coordinator
+// events, which never overlap a worker round, so touching a node's
+// list there is race-free under the kernel's control-verb contract.
+func (c *Cluster) deliverMsg(m *shardMsg, at sim.Time) {
+	op, kind, idx, r, tenant, l, receipt := m.op, m.kind, m.idx, m.r, m.tenant, m.l, m.receipt
+	if op == opOffer {
+		c.freeMsg(1+idx, m)
+		c.nodeOffer(at, idx, kind, r, tenant, l)
+		return
+	}
+	if op == opCompletion {
+		c.freeMsg(1+idx, m)
+	} else {
+		c.freeMsg(0, m)
+	}
+	switch op {
+	case opAccept:
+		c.acceptFold(at, idx, kind, r, tenant, l, receipt)
+	case opReject:
+		c.rejectFold(at, idx, kind, r, l)
+	case opBounce:
+		c.bounceFold(at, idx, kind, r, tenant, l)
+	case opCompletion:
+		c.completionFold(at, idx, r)
+	case opRecycle:
+		coe.Recycle(r)
+	}
+}
+
 // postOffer dispatches a request toward node idx as a timed
 // cross-partition event arriving one hop from now. The in-flight offer
 // is tracked so exactly-once verification and stream close account for
@@ -55,6 +162,10 @@ const (
 // ledger nor the pending queue while it flies), a hedge offer carries
 // only duplicate work. l is the lease a redelivery or hedge offer
 // belongs to, nil for primaries.
+//
+// Offers always originate in coordinator context — routing, bounce
+// re-routes, redelivery, and hedge timers all run on partition 0 — so
+// the message comes from the coordinator's free list unconditionally.
 func (c *Cluster) postOffer(now sim.Time, idx int, kind offerKind, r *coe.Request, tenant string, l *lease) {
 	cs := c.chaos
 	c.routed[idx]++
@@ -63,42 +174,47 @@ func (c *Cluster) postOffer(now sim.Time, idx int, kind offerKind, r *coe.Reques
 	} else {
 		cs.offersInFlight++
 	}
-	at := now.Add(c.latency[idx])
-	c.kernel.Post(c.env, 1+idx, at, func() { c.nodeOffer(idx, kind, r, tenant, l) })
+	m := c.newMsg(0)
+	m.op, m.kind, m.idx = opOffer, kind, idx
+	m.r, m.tenant, m.l = r, tenant, l
+	c.kernel.PostMsg(c.env, 1+idx, now.Add(c.latency[idx]), m)
+}
+
+// postFold posts a fold verb from node idx's partition to the
+// coordinator, one hop after now. Safe from both phases: during a node
+// round it buffers in the partition outbox (the hop is >= the kernel
+// lookahead by construction) and the message comes from the node's
+// free list; from coordinator context — crash purges calling the drop
+// delegate — it inserts directly and draws from the coordinator's
+// list. PosterPartition distinguishes the two.
+func (c *Cluster) postFold(idx int, now sim.Time, op shardOp, kind offerKind, r *coe.Request, tenant string, l *lease, receipt core.Lease) {
+	from := c.kernel.Part(1 + idx)
+	m := c.newMsg(c.kernel.PosterPartition(from))
+	m.op, m.kind, m.idx = op, kind, idx
+	m.r, m.tenant, m.l, m.receipt = r, tenant, l, receipt
+	c.kernel.PostMsg(from, 0, now.Add(c.latency[idx]), m)
 }
 
 // nodeOffer runs inside node idx's partition at the offer's arrival
-// instant. It reads and advances only node-local state, and reports
-// the outcome with a fold event posted one hop back — at least the
+// instant (now). It reads and advances only node-local state, and
+// reports the outcome with a fold posted one hop back — at least the
 // kernel's lookahead after the node's now, which is what licenses the
 // node partitions to run concurrently.
-func (c *Cluster) nodeOffer(idx int, kind offerKind, r *coe.Request, tenant string, l *lease) {
-	env := c.kernel.Part(1 + idx)
-	now := env.Now()
+func (c *Cluster) nodeOffer(now sim.Time, idx int, kind offerKind, r *coe.Request, tenant string, l *lease) {
 	sys := c.nodes[idx].sys
 	if sys.State() != core.NodeUp {
 		// The node went down or started draining while the offer was on
 		// the wire: bounce it back unopened for the coordinator to
 		// re-route.
-		c.foldBack(idx, now, func(at sim.Time) { c.bounceFold(at, idx, kind, r, tenant, l) })
+		c.postFold(idx, now, opBounce, kind, r, tenant, l, core.Lease{})
 		return
 	}
 	receipt, ok := sys.OfferAt(now, workload.TimedRequest{Req: r, Tenant: tenant})
 	if ok {
-		c.foldBack(idx, now, func(at sim.Time) { c.acceptFold(at, idx, kind, r, tenant, l, receipt) })
+		c.postFold(idx, now, opAccept, kind, r, tenant, l, receipt)
 	} else {
-		c.foldBack(idx, now, func(at sim.Time) { c.rejectFold(at, idx, kind, r, l) })
+		c.postFold(idx, now, opReject, kind, r, "", l, core.Lease{})
 	}
-}
-
-// foldBack posts a fold event from node idx's partition to the
-// coordinator, one hop after now. Safe from both phases: during a
-// node round it buffers in the partition outbox (the hop is >= the
-// kernel lookahead by construction), and from coordinator context —
-// crash purges calling the drop delegate — it inserts directly.
-func (c *Cluster) foldBack(idx int, now sim.Time, fn func(at sim.Time)) {
-	at := now.Add(c.latency[idx])
-	c.kernel.Post(c.kernel.Part(1+idx), 0, at, func() { fn(at) })
 }
 
 // acceptFold lands a successful admission on the coordinator: the
@@ -148,6 +264,7 @@ func (c *Cluster) acceptFold(now sim.Time, idx int, kind offerKind, r *coe.Reque
 			// lease for; record it so its completion counts as hedge waste,
 			// exactly like a lost hedge race.
 			cs.orphans[r.ID] = idx
+			cs.releaseIfResolved(l)
 		}
 	}
 	c.maybeClose()
@@ -172,12 +289,15 @@ func (c *Cluster) rejectFold(now sim.Time, idx int, kind offerKind, r *coe.Reque
 		} else {
 			c.recorder.Rejection(now)
 		}
+		cs.resolveLease(l)
 	case offerHedge:
 		cs.hedgeOffers--
 		l.hedgeInFlight = false
 		cs.hedgeRejected++
 		if cs.ledger[l.id] == l && l.node >= 0 {
 			c.rearmHedge(l)
+		} else {
+			cs.releaseIfResolved(l)
 		}
 	}
 	coe.Recycle(r)
@@ -215,6 +335,8 @@ func (c *Cluster) bounceFold(now sim.Time, idx int, kind offerKind, r *coe.Reque
 		l.hedgeInFlight = false
 		if cs.ledger[l.id] == l && l.node >= 0 {
 			c.rearmHedge(l)
+		} else {
+			cs.releaseIfResolved(l)
 		}
 	}
 	coe.Recycle(r)
@@ -227,7 +349,7 @@ func (c *Cluster) bounceFold(now sim.Time, idx int, kind offerKind, r *coe.Reque
 // stream delegate fires inside the node's controller), so it may only
 // capture and post.
 func (c *Cluster) foldCompletion(idx int, now sim.Time, r *coe.Request) {
-	c.foldBack(idx, now, func(at sim.Time) { c.completionFold(at, idx, r) })
+	c.postFold(idx, now, opCompletion, 0, r, "", nil, core.Lease{})
 }
 
 // completionFold resolves a completion against the lease ledger on the
@@ -274,6 +396,7 @@ func (c *Cluster) completionFold(now sim.Time, idx int, r *coe.Request) {
 			cs.failoverMax = d
 		}
 	}
+	cs.resolveLease(l)
 	coe.Recycle(r)
 	if c.draining > 0 {
 		c.checkDrains(now)
@@ -304,5 +427,5 @@ func (c *Cluster) shardRedeliver(now sim.Time, l *lease) bool {
 // ExternalRecycle. The node's own drop accounting already ran; the
 // fold only recycles, because the arena belongs to partition 0.
 func (c *Cluster) postRecycle(idx int, now sim.Time, r *coe.Request) {
-	c.foldBack(idx, now, func(sim.Time) { coe.Recycle(r) })
+	c.postFold(idx, now, opRecycle, 0, r, "", nil, core.Lease{})
 }

@@ -1,7 +1,8 @@
 package pool
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/coe"
 )
@@ -41,11 +42,11 @@ func (LRU) Name() string { return "lru" }
 // Victims implements Policy.
 func (LRU) Victims(p *Pool, need int64) []coe.ExpertID {
 	entries := p.LoadedUnpinned()
-	sort.SliceStable(entries, func(i, j int) bool {
-		if entries[i].LastUse != entries[j].LastUse {
-			return entries[i].LastUse < entries[j].LastUse
+	slices.SortStableFunc(entries, func(a, b *Entry) int {
+		if a.LastUse != b.LastUse {
+			return cmp.Compare(a.LastUse, b.LastUse)
 		}
-		return entries[i].LoadSeq < entries[j].LoadSeq
+		return cmp.Compare(a.LoadSeq, b.LoadSeq)
 	})
 	return takeUntil(entries, need)
 }
@@ -60,8 +61,8 @@ func (FIFO) Name() string { return "fifo" }
 // Victims implements Policy.
 func (FIFO) Victims(p *Pool, need int64) []coe.ExpertID {
 	entries := p.LoadedUnpinned()
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].LoadSeq < entries[j].LoadSeq
+	slices.SortStableFunc(entries, func(a, b *Entry) int {
+		return cmp.Compare(a.LoadSeq, b.LoadSeq)
 	})
 	return takeUntil(entries, need)
 }
@@ -92,8 +93,8 @@ func (DepAware) Victims(p *Pool, need int64) []coe.ExpertID {
 			rest = append(rest, e)
 		}
 	}
-	sort.SliceStable(orphans, func(i, j int) bool {
-		return orphans[i].Bytes > orphans[j].Bytes
+	slices.SortStableFunc(orphans, func(a, b *Entry) int {
+		return cmp.Compare(b.Bytes, a.Bytes)
 	})
 	out := takeUntil(orphans, need)
 	var freed int64
@@ -103,8 +104,8 @@ func (DepAware) Victims(p *Pool, need int64) []coe.ExpertID {
 	if freed >= need {
 		return out
 	}
-	sort.SliceStable(rest, func(i, j int) bool {
-		return rest[i].Expert.UsageProb < rest[j].Expert.UsageProb
+	slices.SortStableFunc(rest, func(a, b *Entry) int {
+		return cmp.Compare(a.Expert.UsageProb, b.Expert.UsageProb)
 	})
 	return append(out, takeUntil(rest, need-freed)...)
 }
@@ -135,8 +136,8 @@ func (ProbOnly) Name() string { return "prob-only" }
 // Victims implements Policy.
 func (ProbOnly) Victims(p *Pool, need int64) []coe.ExpertID {
 	entries := p.LoadedUnpinned()
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].Expert.UsageProb < entries[j].Expert.UsageProb
+	slices.SortStableFunc(entries, func(a, b *Entry) int {
+		return cmp.Compare(a.Expert.UsageProb, b.Expert.UsageProb)
 	})
 	return takeUntil(entries, need)
 }

@@ -1,9 +1,10 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -88,12 +89,12 @@ func (p *FaultPlan) Empty() bool { return p == nil || len(p.Events) == 0 }
 // at the same offset fire in the order they appear in Events *before the
 // sort* — declaration order for scripted plans, per-node generation order
 // for GenerateFaultPlan, and scripted-then-generated when a caller
-// appends a generated schedule onto a scripted one. sort.SliceStable
-// (never sort.Slice) is what preserves it; fault_test.go pins the
-// guarantee for all three plan shapes.
+// appends a generated schedule onto a scripted one. The stable sort
+// (slices.SortStableFunc, never slices.SortFunc) is what preserves it;
+// fault_test.go pins the guarantee for all three plan shapes.
 func (p *FaultPlan) sortEvents() {
-	sort.SliceStable(p.Events, func(i, j int) bool {
-		return p.Events[i].At < p.Events[j].At
+	slices.SortStableFunc(p.Events, func(a, b FaultEvent) int {
+		return cmp.Compare(a.At, b.At)
 	})
 }
 

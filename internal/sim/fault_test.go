@@ -57,7 +57,7 @@ func TestFaultPlanValidateSortsAndChecksTransitions(t *testing.T) {
 // before the sort. The schedule below interleaves three nodes at one
 // instant with unequal events around them; after Validate (which
 // sorts), the equal-instant block must hold its declaration order
-// exactly — a regression to sort.Slice would shuffle it.
+// exactly — a regression to an unstable sort would shuffle it.
 func TestFaultPlanEqualTimestampStableOrder(t *testing.T) {
 	const tie = 2 * time.Second
 	p := &FaultPlan{Events: []FaultEvent{

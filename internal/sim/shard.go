@@ -1,10 +1,11 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/runner"
@@ -14,8 +15,8 @@ import (
 // simulation environments: one coordinator partition (index 0) plus N
 // worker partitions (indices 1..N), each a full *Env with its own
 // clock, heap, and processes. The partitions exchange events only
-// through Post, and the kernel interleaves them under the classic
-// conservative (CMB-style) contract:
+// through Post/PostMsg, and the kernel interleaves them under the
+// classic conservative (CMB-style) contract:
 //
 //   - The coordinator runs one event at a time, and only when its next
 //     event is no later than every worker partition's next event. While
@@ -36,22 +37,65 @@ import (
 // is a pure function of event timestamps and lookahead, never of the
 // worker count, so a Sharded simulation produces byte-identical results
 // at every Workers setting, including Workers(1).
+//
+// The hot path is engineered around that contract rather than on top of
+// it. Worker frontiers (each partition's earliest pending timestamp)
+// live in an indexed min-heap that Env.newEvent/Env.Cancel keep
+// incrementally dirty-marked, so neither the coordinator/round decision
+// nor the round's active-set collection rescans all partitions. The
+// coordinator batch-steps every event up to the (unchanged) worker
+// frontier in one loop pass. Rounds run on a persistent runner.Crew —
+// helper goroutines and barrier reused across rounds — instead of a
+// per-round Map dispatch. And cross-partition payloads can be typed,
+// pooled Messages (PostMsg) instead of heap-allocated closures. None of
+// it changes which event runs when: outputs stay byte-identical by
+// construction.
 type Sharded struct {
 	parts     []*Env
 	lookahead Time
-	pool      *runner.Pool
+	crew      *runner.Crew
 	workers   int
 
 	nodePhase bool  // set for the duration of a worker-partition round
 	active    []int // scratch: partition indices running this round
 	merged    []outPost
+	roundW    Time // current round's window bound, read by the crew body
+
+	// The frontier index: fkey[p] is worker partition p's earliest
+	// pending timestamp (maxTime when empty), fheap an indexed binary
+	// min-heap over partitions 1..N with fpos the position of each
+	// partition inside it. Keys go stale only for partitions flagged in
+	// dirty — marked by the newEvent/Cancel hooks outside rounds and by
+	// the round barrier for the partitions that just ran — and Run
+	// refreshes exactly those at the top of each pass.
+	fkey    []Time
+	fheap   []int
+	fpos    []int
+	fstack  []int // scratch: heap-DFS stack for active-set collection
+	dirty   []int
+	isDirty []bool
+}
+
+// maxTime is the frontier key of an empty partition.
+const maxTime = Time(math.MaxInt64)
+
+// Message is a typed cross-partition event payload: Deliver runs in the
+// target partition at the scheduled instant, exactly like a posted
+// closure, with at the event's timestamp (== the target's Now). The
+// indirection exists for pooling — a protocol can recycle its message
+// structs on per-partition free lists, making steady-state
+// cross-partition traffic allocation-free where closures cannot be.
+type Message interface {
+	Deliver(at Time)
 }
 
 // outPost is one cross-partition event buffered in a partition outbox.
+// Exactly one of fn and msg is set.
 type outPost struct {
 	target int
 	at     Time
 	fn     func()
+	msg    Message
 }
 
 // NewSharded builds a sharded kernel with nparts partitions (partition
@@ -68,17 +112,27 @@ func NewSharded(nparts, workers int, lookahead time.Duration) *Sharded {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Sharded{lookahead: Time(lookahead)}
+	s := &Sharded{lookahead: Time(lookahead), workers: workers}
 	s.parts = make([]*Env, nparts)
 	for i := range s.parts {
 		e := NewEnv()
 		e.shard, e.shardIdx = s, i
 		s.parts[i] = e
 	}
-	if workers > 1 {
-		s.pool = runner.New(workers)
+	s.fkey = make([]Time, nparts)
+	s.fheap = make([]int, nparts-1)
+	s.fpos = make([]int, nparts)
+	s.isDirty = make([]bool, nparts)
+	for p := 1; p < nparts; p++ {
+		s.fkey[p] = maxTime
+		s.fheap[p-1] = p
+		s.fpos[p] = p - 1
 	}
-	s.workers = workers
+	if workers > 1 {
+		s.crew = runner.NewCrew(workers, func(j int) {
+			s.parts[s.active[j]].runBefore(s.roundW)
+		})
+	}
 	return s
 }
 
@@ -93,12 +147,7 @@ func (s *Sharded) Parts() int { return len(s.parts) }
 func (s *Sharded) Lookahead() time.Duration { return time.Duration(s.lookahead) }
 
 // Workers reports the configured worker bound for partition rounds.
-func (s *Sharded) Workers() int {
-	if s.pool != nil {
-		return s.pool.Workers()
-	}
-	return 1
-}
+func (s *Sharded) Workers() int { return s.workers }
 
 // Post schedules fn at time at in partition target, from code running
 // in partition from. From the coordinator (or between rounds) the event
@@ -107,23 +156,60 @@ func (s *Sharded) Workers() int {
 // partition inside a round the event buffers in the partition's outbox
 // and must respect the lookahead contract: at >= from.Now() + lookahead.
 func (s *Sharded) Post(from *Env, target int, at Time, fn func()) {
-	if from.shard != s {
-		panic("sim: Post from an environment outside this Sharded kernel")
-	}
-	if s.nodePhase && from.shardIdx > 0 {
-		if at < from.now+s.lookahead {
-			panic(fmt.Sprintf("sim: cross-partition post at %v violates lookahead (now %v + %v)",
-				at, from.now, time.Duration(s.lookahead)))
-		}
+	if s.buffered(from, at) {
 		from.outbox = append(from.outbox, outPost{target: target, at: at, fn: fn})
 		return
 	}
 	s.parts[target].schedule(at, fn)
 }
 
+// PostMsg is Post for a typed Message payload: m.Deliver(at) runs in
+// the target partition at at, under exactly the ordering and lookahead
+// contract of Post. Unlike a closure the message allocates nothing
+// here, and the poster may draw it from a free list owned by the
+// partition PosterPartition reports.
+func (s *Sharded) PostMsg(from *Env, target int, at Time, m Message) {
+	if s.buffered(from, at) {
+		from.outbox = append(from.outbox, outPost{target: target, at: at, msg: m})
+		return
+	}
+	s.parts[target].scheduleMsg(at, m)
+}
+
+// buffered decides the path of one post from the given environment:
+// true means the caller must buffer in the outbox (worker partition,
+// mid-round — the lookahead contract was just checked), false means
+// direct insertion into the target is legal.
+func (s *Sharded) buffered(from *Env, at Time) bool {
+	if from.shard != s {
+		panic("sim: Post from an environment outside this Sharded kernel")
+	}
+	if !s.nodePhase || from.shardIdx == 0 {
+		return false
+	}
+	if at < from.now+s.lookahead {
+		panic(fmt.Sprintf("sim: cross-partition post at %v violates lookahead (now %v + %v)",
+			at, from.now, time.Duration(s.lookahead)))
+	}
+	return true
+}
+
+// PosterPartition reports which partition's pooled resources the code
+// currently posting from env may safely touch: env's own partition
+// while a worker round is running it, the coordinator's (0) otherwise —
+// control verbs and crash purges call into node environments from the
+// coordinator's goroutine, and posts they trigger execute there.
+func (s *Sharded) PosterPartition(from *Env) int {
+	if s.nodePhase && from.shardIdx > 0 {
+		return from.shardIdx
+	}
+	return 0
+}
+
 // Run executes all partitions to completion and returns the
 // coordinator's final clock value. Like Env.Run it drains every
-// partition afterwards, so no process goroutines are left behind.
+// partition afterwards, so no process goroutines are left behind. The
+// crew's helper goroutines exist only for the duration of the call.
 func (s *Sharded) Run() Time {
 	for _, e := range s.parts {
 		if e.running {
@@ -131,29 +217,43 @@ func (s *Sharded) Run() Time {
 		}
 		e.running = true
 	}
+	if s.crew != nil {
+		s.crew.Start()
+		defer s.crew.Stop()
+	}
+	coord := s.parts[0]
 	for {
-		tc, cok := s.parts[0].peekNext()
-		tn := Time(math.MaxInt64)
-		nok := false
-		for _, e := range s.parts[1:] {
-			if t, ok := e.peekNext(); ok && t < tn {
-				tn, nok = t, true
-			}
-		}
+		s.flushDirty()
+		tn := s.fkey[s.fheap[0]] // min worker frontier; maxTime when all empty
+		tc, cok := coord.peekNext()
 		switch {
-		case !cok && !nok:
+		case !cok && tn == maxTime:
 			for _, e := range s.parts {
 				e.running = false
 			}
 			for _, e := range s.parts {
 				e.drain()
 			}
-			return s.parts[0].now
-		case cok && (!nok || tc <= tn):
+			return coord.now
+		case cok && tc <= tn:
 			// Coordinator phase: every worker partition's clock is behind
-			// tc and holds no event earlier than tc, so this one event may
-			// read their state and post into them freely.
-			s.parts[0].step()
+			// tc and holds no event earlier than tc, so these events may
+			// read worker state and post into workers freely. Batch-step:
+			// the guard "next <= min worker frontier" is re-evaluated
+			// after every event against an incrementally refreshed bound
+			// (a post or cancel that moved a frontier lands in the dirty
+			// set; flushing it re-sifts exactly those keys), so the batch
+			// makes the same decisions per-event rescanning would.
+			for {
+				coord.step()
+				if len(s.dirty) > 0 {
+					s.flushDirty()
+					tn = s.fkey[s.fheap[0]]
+				}
+				if len(coord.events) == 0 || coord.events[0].at > tn {
+					break
+				}
+			}
 		default:
 			w := tn + s.lookahead
 			if cok && tc < w {
@@ -168,30 +268,54 @@ func (s *Sharded) Run() Time {
 // (exclusive) w, in parallel, then merges the round's cross-partition
 // posts at the barrier.
 func (s *Sharded) runRound(w Time) {
-	s.active = s.active[:0]
-	for i, e := range s.parts[1:] {
-		if t, ok := e.peekNext(); ok && t < w {
-			s.active = append(s.active, 1+i)
-		}
-	}
+	s.collectActive(w)
 	s.nodePhase = true
-	if s.pool == nil || len(s.active) == 1 {
-		for _, i := range s.active {
-			s.parts[i].runBefore(w)
+	if s.crew == nil || len(s.active) == 1 {
+		for _, p := range s.active {
+			s.parts[p].runBefore(w)
 		}
 	} else {
 		// The blessed shard-barrier seam: partitions share no state
-		// during a round, and runner.Map's WaitGroup join orders every
-		// partition's writes before the merge below.
-		if _, err := runner.Map(s.pool, len(s.active), func(j int) (struct{}, error) {
-			s.parts[s.active[j]].runBefore(w)
-			return struct{}{}, nil
-		}); err != nil {
-			panic(err)
-		}
+		// during a round, and the crew's barrier orders every partition's
+		// writes before the merge below.
+		s.roundW = w
+		s.crew.Run(len(s.active))
 	}
 	s.nodePhase = false
+	for _, p := range s.active {
+		// Round-local churn bypassed the frontier hooks (they are off
+		// during nodePhase — worker heaps are touched concurrently);
+		// refresh exactly the partitions that ran.
+		s.markDirty(p)
+	}
 	s.merge()
+}
+
+// collectActive gathers the worker partitions with an event before w
+// into s.active, ascending. The frontier heap bounds the walk: a heap
+// node with key >= w has no descendant below w, so the DFS visits only
+// active partitions plus their immediate fringe instead of all N. The
+// ascending sort is load-bearing — merge's stable sort relies on
+// outboxes being appended in ascending source-partition order.
+func (s *Sharded) collectActive(w Time) {
+	s.active = s.active[:0]
+	s.fstack = append(s.fstack[:0], 0)
+	for len(s.fstack) > 0 {
+		i := s.fstack[len(s.fstack)-1]
+		s.fstack = s.fstack[:len(s.fstack)-1]
+		p := s.fheap[i]
+		if s.fkey[p] >= w {
+			continue
+		}
+		s.active = append(s.active, p)
+		if l := 2*i + 1; l < len(s.fheap) {
+			s.fstack = append(s.fstack, l)
+			if r := l + 1; r < len(s.fheap) {
+				s.fstack = append(s.fstack, r)
+			}
+		}
+	}
+	slices.Sort(s.active)
 }
 
 // merge drains the round's outboxes into their target partitions in
@@ -203,7 +327,7 @@ func (s *Sharded) merge() {
 		e := s.parts[i]
 		s.merged = append(s.merged, e.outbox...)
 		for j := range e.outbox {
-			e.outbox[j].fn = nil
+			e.outbox[j].fn, e.outbox[j].msg = nil, nil
 		}
 		e.outbox = e.outbox[:0]
 	}
@@ -213,11 +337,114 @@ func (s *Sharded) merge() {
 	// Outboxes were appended in ascending source-partition order with
 	// per-source post order preserved, so a stable sort by time alone
 	// yields (time, source partition, post order).
-	sort.SliceStable(s.merged, func(a, b int) bool { return s.merged[a].at < s.merged[b].at })
+	slices.SortStableFunc(s.merged, func(a, b outPost) int { return cmp.Compare(a.at, b.at) })
 	for i := range s.merged {
 		p := &s.merged[i]
-		s.parts[p.target].schedule(p.at, p.fn)
-		p.fn = nil
+		if p.msg != nil {
+			s.parts[p.target].scheduleMsg(p.at, p.msg)
+		} else {
+			s.parts[p.target].schedule(p.at, p.fn)
+		}
+		p.fn, p.msg = nil, nil
+	}
+}
+
+// frontierChanged is the Env hook: partition e's earliest pending event
+// changed (a push that became the new head, or the head cancelled).
+// During a round the worker heaps churn concurrently and the hook is a
+// no-op — the barrier marks the partitions that ran instead; outside
+// rounds only the coordinator's goroutine schedules or cancels, so the
+// dirty set is single-writer.
+func (s *Sharded) frontierChanged(e *Env) {
+	if s.nodePhase || e.shardIdx == 0 {
+		return
+	}
+	s.markDirty(e.shardIdx)
+}
+
+// markDirty flags worker partition p's frontier key as stale.
+func (s *Sharded) markDirty(p int) {
+	if s.isDirty[p] {
+		return
+	}
+	s.isDirty[p] = true
+	s.dirty = append(s.dirty, p)
+}
+
+// flushDirty refreshes every stale frontier key from its partition's
+// heap and restores the min-heap invariant around it.
+func (s *Sharded) flushDirty() {
+	for _, p := range s.dirty {
+		s.isDirty[p] = false
+		t := maxTime
+		if ev := s.parts[p].events; len(ev) > 0 {
+			t = ev[0].at
+		}
+		s.setKey(p, t)
+	}
+	s.dirty = s.dirty[:0]
+}
+
+// setKey updates partition p's frontier key and sifts it to its place.
+func (s *Sharded) setKey(p int, t Time) {
+	old := s.fkey[p]
+	if old == t {
+		return
+	}
+	s.fkey[p] = t
+	if t < old {
+		s.siftUp(s.fpos[p])
+	} else {
+		s.siftDown(s.fpos[p])
+	}
+}
+
+// fless orders heap slots by (key, partition) — the partition tiebreak
+// is not semantically needed (ties are resolved by the round window),
+// but keeps the heap layout itself deterministic.
+func (s *Sharded) fless(a, b int) bool {
+	if s.fkey[a] != s.fkey[b] {
+		return s.fkey[a] < s.fkey[b]
+	}
+	return a < b
+}
+
+func (s *Sharded) fswap(i, j int) {
+	h := s.fheap
+	h[i], h[j] = h[j], h[i]
+	s.fpos[h[i]] = i
+	s.fpos[h[j]] = j
+}
+
+func (s *Sharded) siftUp(i int) {
+	h := s.fheap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.fless(h[i], h[parent]) {
+			return
+		}
+		s.fswap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Sharded) siftDown(i int) {
+	h := s.fheap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && s.fless(h[r], h[l]) {
+			m = r
+		}
+		if !s.fless(h[m], h[i]) {
+			return
+		}
+		s.fswap(i, m)
+		i = m
 	}
 }
 

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// This file pins the pooled-message path's determinism contract the way
+// shard_test.go pins the closure path's: a randomized schedule of
+// cross-partition message chains — hops between worker partitions, hops
+// through the coordinator, self-posts, local timer churn with immediate
+// head cancels — must produce byte-identical logs and an identical
+// final clock at every worker count. All randomness is drawn up front
+// into a plain schedule value; the simulation itself reads only that
+// schedule, so any divergence is the kernel's fault, not the test's.
+
+// fuzzHop is one pre-drawn step of a message chain.
+type fuzzHop struct {
+	target int           // partition the hop is delivered to
+	delay  time.Duration // extra delay past the mandatory lookahead
+	local  time.Duration // >0: arm a local AfterFunc on delivery
+	cancel bool          // cancel that local timer immediately
+}
+
+// fuzzSchedule is everything a run needs, fixed before Run starts.
+type fuzzSchedule struct {
+	nparts int
+	la     time.Duration
+	starts []time.Duration // chain launch times (coordinator clock)
+	chains [][]fuzzHop
+}
+
+// genFuzzSchedule pre-draws a schedule from a seed. The draw order is
+// fixed, so one seed means one schedule — worker counts share it.
+func genFuzzSchedule(seed int64) fuzzSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	sc := fuzzSchedule{
+		nparts: 3 + rng.Intn(6), // 1 coordinator + 2..7 workers
+		la:     time.Duration(1+rng.Intn(10)) * time.Millisecond,
+	}
+	nchains := 4 + rng.Intn(12)
+	for c := 0; c < nchains; c++ {
+		sc.starts = append(sc.starts, time.Duration(rng.Intn(40))*time.Millisecond)
+		hops := make([]fuzzHop, 1+rng.Intn(12))
+		for i := range hops {
+			h := &hops[i]
+			// Mostly worker partitions, sometimes the coordinator — hops
+			// through partition 0 exercise direct insertion and the
+			// frontier hooks outside rounds.
+			if rng.Intn(5) == 0 {
+				h.target = 0
+			} else {
+				h.target = 1 + rng.Intn(sc.nparts-1)
+			}
+			h.delay = time.Duration(rng.Intn(2000)) * time.Microsecond
+			if rng.Intn(3) == 0 {
+				h.local = time.Duration(1+rng.Intn(3000)) * time.Microsecond
+				h.cancel = rng.Intn(2) == 0
+			}
+		}
+		sc.chains = append(sc.chains, hops)
+	}
+	return sc
+}
+
+// fuzzNet runs one schedule on one kernel, logging every delivery and
+// timer firing per partition. Messages recycle through per-partition
+// free lists exactly like a real protocol would, so the run exercises
+// allocation-free steady-state delivery.
+type fuzzNet struct {
+	s    *Sharded
+	sc   fuzzSchedule
+	logs [][]string
+	free []*fuzzMsg
+}
+
+type fuzzMsg struct {
+	n     *fuzzNet
+	chain int
+	hop   int
+	part  int // delivery partition
+	next  *fuzzMsg
+}
+
+func (n *fuzzNet) newMsg(part int) *fuzzMsg {
+	m := n.free[part]
+	if m == nil {
+		return &fuzzMsg{n: n}
+	}
+	n.free[part] = m.next
+	m.next = nil
+	return m
+}
+
+func (m *fuzzMsg) Deliver(at Time) {
+	n := m.n
+	chain, hop, part := m.chain, m.hop, m.part
+	env := n.s.Part(part)
+	src := n.s.PosterPartition(env)
+	m.next = n.free[src]
+	n.free[src] = m
+	n.logs[part] = append(n.logs[part], fmt.Sprintf("c%d h%d @%v", chain, hop, at.Duration()))
+	h := n.sc.chains[chain][hop]
+	if h.local > 0 {
+		tm := env.AfterFunc(h.local, func() {
+			n.logs[part] = append(n.logs[part], fmt.Sprintf("c%d h%d timer @%v", chain, hop, env.Now().Duration()))
+		})
+		if h.cancel {
+			// Immediate cancel: arms and revokes in one instant — from the
+			// coordinator this exercises the head-cancel frontier hook.
+			env.Cancel(tm)
+		}
+	}
+	if hop+1 < len(n.sc.chains[chain]) {
+		nx := n.sc.chains[chain][hop+1]
+		nm := n.newMsg(src)
+		nm.chain, nm.hop, nm.part = chain, hop+1, nx.target
+		n.s.PostMsg(env, nx.target, at.Add(n.sc.la+nx.delay), nm)
+	}
+}
+
+// runFuzzNet executes the schedule at the given worker count and
+// returns the flattened per-partition logs plus the final clock.
+func runFuzzNet(sc fuzzSchedule, workers int) ([]string, Time) {
+	n := &fuzzNet{
+		s:    NewSharded(sc.nparts, workers, sc.la),
+		sc:   sc,
+		logs: make([][]string, sc.nparts),
+		free: make([]*fuzzMsg, sc.nparts),
+	}
+	coord := n.s.Part(0)
+	for c := range sc.chains {
+		m := n.newMsg(0)
+		m.chain, m.hop, m.part = c, 0, sc.chains[c][0].target
+		n.s.PostMsg(coord, m.part, Time(sc.starts[c]), m)
+	}
+	end := n.s.Run()
+	var flat []string
+	for p := range n.logs {
+		for _, line := range n.logs[p] {
+			flat = append(flat, fmt.Sprintf("p%d %s", p, line))
+		}
+	}
+	return flat, end
+}
+
+// checkFuzzSeed asserts one schedule is byte-identical across worker
+// counts {1, 2, 3, GOMAXPROCS}, with workers=1 as the reference.
+func checkFuzzSeed(t *testing.T, seed int64) {
+	t.Helper()
+	sc := genFuzzSchedule(seed)
+	ref, refEnd := runFuzzNet(sc, 1)
+	if len(ref) == 0 {
+		t.Fatalf("seed %d: schedule produced no deliveries", seed)
+	}
+	for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		got, gotEnd := runFuzzNet(sc, workers)
+		if gotEnd != refEnd {
+			t.Fatalf("seed %d: final clock %v at workers=%d, want %v (workers=1)",
+				seed, gotEnd.Duration(), workers, refEnd.Duration())
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("seed %d: %d log lines at workers=%d, want %d", seed, len(got), workers, len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("seed %d: log line %d at workers=%d:\n got %q\nwant %q",
+					seed, i, workers, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardedPooledMessageDeterminism is the property test: a spread of
+// fixed seeds, each a full randomized schedule.
+func TestShardedPooledMessageDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		checkFuzzSeed(t, seed)
+	}
+}
+
+// FuzzShardedPooledMessageDeterminism lets the fuzzer hunt for a
+// schedule that breaks worker-count independence; the seed corpus runs
+// under plain go test.
+func FuzzShardedPooledMessageDeterminism(f *testing.F) {
+	f.Add(int64(42))
+	f.Add(int64(20260807))
+	f.Add(int64(-1))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkFuzzSeed(t, seed)
+	})
+}

@@ -45,17 +45,21 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled kernel action. Exactly one of fn and proc is set:
-// fn is the callback fast path, run inline on the kernel goroutine; proc
-// is the wake path, resuming a parked process. Events are pooled on the
-// environment's free list, so no field may be read after release.
+// event is a scheduled kernel action. Exactly one of fn, proc, and msg
+// is set: fn is the callback fast path, run inline on the kernel
+// goroutine; proc is the wake path, resuming a parked process; msg is
+// the typed-message path for cross-partition traffic in a Sharded
+// kernel — like proc it allocates no closure, and the payload itself is
+// poolable by the sender. Events are pooled on the environment's free
+// list, so no field may be read after release.
 type event struct {
 	at    Time
 	seq   int64
-	fn    func() // callback path (After, AfterFunc, process start)
-	proc  *Proc  // wake path (Sleep, Unpark) — no closure allocated
-	index int    // heap index; -1 once removed from the heap
-	next  *event // free-list link
+	fn    func()  // callback path (After, AfterFunc, process start)
+	proc  *Proc   // wake path (Sleep, Unpark) — no closure allocated
+	msg   Message // typed cross-partition payload — no closure allocated
+	index int     // heap index; -1 once removed from the heap
+	next  *event  // free-list link
 }
 
 // eventHeap orders events by (time, sequence).
@@ -145,13 +149,19 @@ func (e *Env) newEvent(at Time) *event {
 	}
 	ev.at, ev.seq = at, e.seq
 	heap.Push(&e.events, ev)
+	if ev.index == 0 && e.shard != nil {
+		// The partition's frontier moved earlier: keep the Sharded
+		// kernel's frontier index in sync (a no-op outside its Run loop's
+		// coordinator phases — worker rounds refresh at the barrier).
+		e.shard.frontierChanged(e)
+	}
 	return ev
 }
 
 // releaseEvent returns a fired or cancelled event to the free list. The
 // sequence number is cleared so stale Timer handles cannot match it.
 func (e *Env) releaseEvent(ev *event) {
-	ev.fn, ev.proc = nil, nil
+	ev.fn, ev.proc, ev.msg = nil, nil, nil
 	ev.seq = 0
 	ev.index = -1
 	ev.next = e.free
@@ -162,6 +172,14 @@ func (e *Env) releaseEvent(ev *event) {
 func (e *Env) schedule(at Time, fn func()) *event {
 	ev := e.newEvent(at)
 	ev.fn = fn
+	return ev
+}
+
+// scheduleMsg enqueues a typed message for delivery at time at — the
+// closure-free path cross-partition protocols ride on.
+func (e *Env) scheduleMsg(at Time, m Message) *event {
+	ev := e.newEvent(at)
+	ev.msg = m
 	return ev
 }
 
@@ -218,8 +236,14 @@ func (e *Env) Cancel(t Timer) bool {
 	if ev.seq != t.seq || ev.index < 0 || ev.index >= len(e.events) || e.events[ev.index] != ev {
 		return false
 	}
+	wasHead := ev.index == 0
 	heap.Remove(&e.events, ev.index)
 	e.releaseEvent(ev)
+	if wasHead && e.shard != nil {
+		// Cancelling the head raises the partition's frontier — e.g. a
+		// crash purge revoking a node-internal timer from the coordinator.
+		e.shard.frontierChanged(e)
+	}
 	return true
 }
 
@@ -228,14 +252,21 @@ func (e *Env) popEvent() *event {
 	return heap.Pop(&e.events).(*event)
 }
 
-// dispatch fires one popped event: wake events resume their process, and
-// callback events run inline with no goroutine handoff. The event is
-// recycled before firing so the handler can immediately reuse it.
+// dispatch fires one popped event: wake events resume their process,
+// message events deliver their typed payload, and callback events run
+// inline with no goroutine handoff. The event is recycled before firing
+// so the handler can immediately reuse it.
 func (e *Env) dispatch(ev *event) {
 	e.now = ev.at
 	if p := ev.proc; p != nil {
 		e.releaseEvent(ev)
 		e.wake(p)
+		return
+	}
+	if m := ev.msg; m != nil {
+		at := ev.at
+		e.releaseEvent(ev)
+		m.Deliver(at)
 		return
 	}
 	fn := ev.fn
